@@ -1,0 +1,264 @@
+package dcasim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"dcasim/internal/addrmap"
+	"dcasim/internal/core"
+	"dcasim/internal/dram"
+	"dcasim/internal/event"
+	"dcasim/internal/exp"
+	"dcasim/internal/stats"
+	"dcasim/internal/workload"
+)
+
+// benchMixes controls how many Table I mixes the figure benchmarks
+// evaluate (default 4; set DCASIM_BENCH_MIXES=30 for the full sweep).
+func benchMixes() []Mix {
+	n := 4
+	if s := os.Getenv("DCASIM_BENCH_MIXES"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 && v <= 30 {
+			n = v
+		}
+	}
+	return TableIMixes()[:n]
+}
+
+// benchRunner builds a fresh memoizing runner at the test scale; each
+// figure benchmark measures the cost of regenerating that figure's rows
+// from scratch.
+func benchRunner() *Runner {
+	return NewRunner(TestConfig(), benchMixes(), 0)
+}
+
+func reportTable(b *testing.B, tbl *stats.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if b.N == 1 && os.Getenv("DCASIM_BENCH_PRINT") != "" {
+		fmt.Println(tbl)
+	}
+}
+
+// --- One benchmark per table and figure of the paper ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := exp.TableI(benchMixes())
+		reportTable(b, tbl, nil)
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := benchRunner().TableII()
+		reportTable(b, tbl, nil)
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig8()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig9()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig10()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig11()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig12()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig13()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig14()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig15()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig16()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig17()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig18()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().Fig19()
+		reportTable(b, tbl, err)
+	}
+}
+
+// --- Extension studies (paper prose claims; see internal/exp) ---
+
+func BenchmarkExtTWTRSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().TWTRSweep()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkExtSchedulerStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().SchedulerStudy()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkExtBEARStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := benchRunner().BEARStudy()
+		reportTable(b, tbl, err)
+	}
+}
+
+// --- Ablations called out in DESIGN.md ---
+
+// BenchmarkAblationFlushFactor sweeps the OFS flushing factor (§IV-C).
+func BenchmarkAblationFlushFactor(b *testing.B) {
+	for _, ff := range []uint8{0, 2, 4, 6} {
+		b.Run(fmt.Sprintf("FF-%d", ff), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := TestConfig()
+				cfg.Benchmarks = []string{"milc", "leslie3d", "omnetpp", "gcc"}
+				cfg.Design = DCA
+				ctrl := core.DefaultConfig(core.DCA)
+				ctrl.FlushFactor = ff
+				cfg.Ctrl = &ctrl
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScheduleAll sweeps the DCA read-queue hysteresis.
+func BenchmarkAblationScheduleAll(b *testing.B) {
+	for _, hi := range []float64{0.65, 0.85, 0.95} {
+		b.Run(fmt.Sprintf("high-%.0f%%", 100*hi), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := TestConfig()
+				cfg.Benchmarks = []string{"lbm", "mcf", "leslie3d", "omnetpp"}
+				cfg.Design = DCA
+				ctrl := core.DefaultConfig(core.DCA)
+				ctrl.ScheduleAllHigh = hi
+				ctrl.ScheduleAllLow = hi - 0.10
+				cfg.Ctrl = &ctrl
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Microbenchmarks of the simulation substrate ---
+
+func BenchmarkChannelIssue(b *testing.B) {
+	g := addrmap.Geometry{Channels: 1, Ranks: 1, Banks: 16, RowBytes: 4096, BlockSize: 64}
+	ch := dram.NewChannel(dram.StackedDRAM(), g)
+	accs := make([]*dram.Access, 64)
+	for i := range accs {
+		accs[i] = &dram.Access{
+			Kind:  dram.ReadData,
+			Loc:   addrmap.Loc{Bank: i % 16, Row: int64(i / 16), Col: i % 64},
+			Bytes: 64,
+		}
+	}
+	b.ResetTimer()
+	now := ch.BusFreeAt()
+	for i := 0; i < b.N; i++ {
+		now = ch.Issue(accs[i%len(accs)], now)
+	}
+}
+
+func BenchmarkEventEngine(b *testing.B) {
+	var eng event.Engine
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(10, fn)
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkWorkloadGen(b *testing.B) {
+	prof, _ := workload.Lookup("milc")
+	g := workload.NewGen(prof, 1, 0, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
+
+// BenchmarkSimOneRun measures one complete small multiprogrammed
+// simulation (warm-up plus timed region).
+func BenchmarkSimOneRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := TestConfig()
+		cfg.Benchmarks = []string{"soplex", "mcf", "gcc", "libquantum"}
+		cfg.Design = DCA
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

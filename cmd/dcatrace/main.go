@@ -1,0 +1,88 @@
+// Command dcatrace inspects the synthetic workload generators: it dumps
+// a trace prefix or summarises a benchmark's traffic characteristics
+// (memory intensity, store fraction, sequentiality, footprint reach).
+// Useful when tuning profiles or validating them against published SPEC
+// characterisations.
+//
+// Usage:
+//
+//	dcatrace -bench mcf -n 20            # dump the first 20 operations
+//	dcatrace -bench lbm -summary -n 100000
+//	dcatrace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dcasim/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcatrace: ")
+	var (
+		bench   = flag.String("bench", "mcf", "benchmark name")
+		n       = flag.Int("n", 20, "operations to generate")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		scale   = flag.Float64("wsscale", 1.0, "working-set scale")
+		summary = flag.Bool("summary", false, "print aggregate statistics instead of the trace")
+		list    = flag.Bool("list", false, "list available benchmarks and their profiles")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %8s %7s %7s %7s %7s\n", "benchmark", "mem/1k", "stores", "seq", "hot", "WS(MB)")
+		for _, name := range workload.Names() {
+			p, _ := workload.Lookup(name)
+			fmt.Printf("%-12s %8d %6.0f%% %6.0f%% %6.0f%% %7d\n",
+				p.Name, p.MemPer1000, 100*p.StoreFrac, 100*p.SeqProb, 100*p.HotProb, p.WorkingSetMB)
+		}
+		return
+	}
+
+	prof, err := workload.Lookup(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := workload.NewGen(prof, *seed, 0, *scale)
+
+	if !*summary {
+		fmt.Printf("# %s: gap store block-address pc\n", prof.Name)
+		for i := 0; i < *n; i++ {
+			op := g.Next()
+			kind := "LD"
+			if op.Store {
+				kind = "ST"
+			}
+			fmt.Printf("%4d %s 0x%010x pc=0x%x\n", op.Gap, kind, op.Addr, op.PC)
+		}
+		return
+	}
+
+	var instrs, stores, seq int64
+	touched := make(map[int64]struct{})
+	prev := int64(-10)
+	for i := 0; i < *n; i++ {
+		op := g.Next()
+		instrs += int64(op.Gap) + 1
+		if op.Store {
+			stores++
+		}
+		if op.Addr == prev+1 {
+			seq++
+		}
+		prev = op.Addr
+		touched[op.Addr] = struct{}{}
+	}
+	ops := int64(*n)
+	fmt.Printf("benchmark        %s\n", prof.Name)
+	fmt.Printf("operations       %d over %d instructions\n", ops, instrs)
+	fmt.Printf("memory intensity %.1f per 1000 instructions\n", float64(ops)/float64(instrs)*1000)
+	fmt.Printf("store fraction   %.1f%%\n", 100*float64(stores)/float64(ops))
+	fmt.Printf("sequential frac  %.1f%%\n", 100*float64(seq)/float64(ops))
+	fmt.Printf("distinct blocks  %d (%.1f MB touched of %.1f MB footprint)\n",
+		len(touched), float64(len(touched))*64/1024/1024,
+		float64(g.WorkingSetBlocks())*64/1024/1024)
+}

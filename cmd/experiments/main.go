@@ -1,0 +1,105 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them as aligned text tables.
+//
+// Usage:
+//
+//	experiments [-mixes N] [-workers N] [-scale bench|test] [-only fig8,fig9,...]
+//
+// By default it runs all 30 Table I workload mixes at the bench scale and
+// prints Tables I–II and Figures 8–19.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"dcasim"
+	"dcasim/internal/exp"
+	"dcasim/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		nmixes  = flag.Int("mixes", 30, "number of Table I mixes to evaluate (1-30)")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		scale   = flag.String("scale", "bench", "configuration scale: bench or test")
+		only    = flag.String("only", "", "comma-separated subset, e.g. tableI,fig8,fig18")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	var cfg dcasim.Config
+	switch *scale {
+	case "bench":
+		cfg = dcasim.BenchConfig()
+	case "test":
+		cfg = dcasim.TestConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+
+	mixes := dcasim.TableIMixes()
+	if *nmixes < 1 || *nmixes > len(mixes) {
+		log.Fatalf("mixes must be in 1..%d", len(mixes))
+	}
+	mixes = mixes[:*nmixes]
+
+	runner := dcasim.NewRunner(cfg, mixes, *workers)
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.ToLower(strings.TrimSpace(f))] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[strings.ToLower(name)] }
+
+	type entry struct {
+		name  string
+		title string
+		run   func() (*stats.Table, error)
+	}
+	entries := []entry{
+		{"tableI", "Table I: workload groupings", func() (*stats.Table, error) { return exp.TableI(mixes), nil }},
+		{"tableII", "Table II: system parameters", func() (*stats.Table, error) { return runner.TableII(), nil }},
+		{"fig8", "Fig. 8: average speedup (normalized to CD)", runner.Fig8},
+		{"fig9", "Fig. 9: average speedup with remapping (normalized to CD w/o remap)", runner.Fig9},
+		{"fig10", "Fig. 10: per-workload speedup, set-associative", runner.Fig10},
+		{"fig11", "Fig. 11: per-workload speedup, direct-mapped", runner.Fig11},
+		{"fig12", "Fig. 12: L2 miss latency improvement, set-associative", runner.Fig12},
+		{"fig13", "Fig. 13: L2 miss latency improvement, direct-mapped", runner.Fig13},
+		{"fig14", "Fig. 14: accesses per turnaround, set-associative", runner.Fig14},
+		{"fig15", "Fig. 15: accesses per turnaround, direct-mapped", runner.Fig15},
+		{"fig16", "Fig. 16: row buffer hit rate, set-associative", runner.Fig16},
+		{"fig17", "Fig. 17: row buffer hit rate, direct-mapped", runner.Fig17},
+		{"fig18", "Fig. 18: DRAM tag accesses vs tag cache size", runner.Fig18},
+		{"fig19", "Fig. 19: speedup under Lee DRAM-aware writeback (direct-mapped)", runner.Fig19},
+		{"twtr", "Extension: tWTR sensitivity (direct-mapped; paper §V claim)", runner.TWTRSweep},
+		{"sched", "Extension: DCA gain under other base schedulers (paper §IV-B claim)", runner.SchedulerStudy},
+		{"bear", "Extension: ideal BEAR writeback probe (direct-mapped; paper §VII claim)", runner.BEARStudy},
+	}
+
+	start := time.Now()
+	for _, e := range entries {
+		if !selected(e.name) {
+			continue
+		}
+		t0 := time.Now()
+		tbl, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Printf("== %s ==\n%s", e.title, tbl)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.name, time.Since(t0).Round(time.Millisecond))
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "[all selected experiments done in %v over %d mixes]\n",
+		time.Since(start).Round(time.Millisecond), len(mixes))
+}

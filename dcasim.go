@@ -1,0 +1,98 @@
+// Package dcasim is a discrete-event architectural simulator reproducing
+// "DCA: a DRAM-Cache-Aware DRAM Controller" (Huang, Nagarajan & Joshi,
+// SC '16). It models die-stacked DRAM caches with tags in DRAM, the three
+// controller designs the paper studies (CD, ROD, and the proposed DCA),
+// and the full surrounding system: BLISS scheduling, MAP-I miss
+// prediction, XOR remapping, an SRAM tag cache, Lee's DRAM-aware L2
+// writeback, synthetic SPEC-like multiprogrammed workloads, and a
+// trace-driven out-of-order core model.
+//
+// The package is a thin facade over the internal packages: it re-exports
+// the configuration, the simulation entry points, and the experiment
+// drivers that regenerate every table and figure of the paper.
+//
+// Quick start:
+//
+//	cfg := dcasim.BenchConfig()
+//	cfg.Benchmarks = []string{"mcf", "lbm", "libquantum", "omnetpp"}
+//	cfg.Design = dcasim.DCA
+//	res, err := dcasim.Run(cfg)
+//
+// See examples/ for complete programs and cmd/experiments for the
+// evaluation harness.
+package dcasim
+
+import (
+	"dcasim/internal/config"
+	"dcasim/internal/core"
+	"dcasim/internal/dcache"
+	"dcasim/internal/exp"
+	"dcasim/internal/sim"
+	"dcasim/internal/stats"
+	"dcasim/internal/workload"
+)
+
+// Config is the full-system configuration (see internal/config).
+type Config = config.Config
+
+// Result carries the outputs of one simulation run.
+type Result = sim.Result
+
+// Design selects the DRAM cache controller organisation.
+type Design = core.Design
+
+// Controller designs under study.
+const (
+	CD  = core.CD
+	ROD = core.ROD
+	DCA = core.DCA
+)
+
+// Org selects the DRAM cache organization.
+type Org = dcache.Org
+
+// DRAM cache organizations.
+const (
+	SetAssoc     = dcache.SetAssoc
+	DirectMapped = dcache.DirectMapped
+)
+
+// Mix is a four-core multiprogrammed workload.
+type Mix = workload.Mix
+
+// Runner memoizes simulation runs and produces the paper's tables and
+// figures.
+type Runner = exp.Runner
+
+// Table is the aligned-text result table returned by experiment drivers.
+type Table = stats.Table
+
+// PaperConfig returns the paper's Table II configuration (500 M
+// instructions per core — use BenchConfig for tractable runs).
+func PaperConfig() Config { return config.Paper() }
+
+// BenchConfig returns the scaled configuration used by the benchmark
+// harness; shapes and ratios follow Table II.
+func BenchConfig() Config { return config.Bench() }
+
+// TestConfig returns a small configuration for quick experiments.
+func TestConfig() Config { return config.Test() }
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+
+// AloneIPC measures a benchmark's alone IPC on the CD baseline, the
+// denominator of weighted speedup.
+func AloneIPC(cfg Config, bench string) (float64, error) { return sim.AloneIPC(cfg, bench) }
+
+// TableIMixes returns the paper's 30 workload groupings (Table I).
+func TableIMixes() []Mix { return workload.TableI() }
+
+// BenchmarkNames lists the synthetic SPEC-like benchmarks.
+func BenchmarkNames() []string { return workload.Names() }
+
+// NewRunner builds an experiment runner over a base configuration and a
+// set of workload mixes; workers <= 0 uses GOMAXPROCS.
+func NewRunner(base Config, mixes []Mix, workers int) *Runner {
+	return exp.NewRunner(base, mixes, workers)
+}

@@ -1,0 +1,90 @@
+package dcasim
+
+import (
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := TestConfig()
+	cfg.Benchmarks = []string{"soplex", "mcf", "gcc", "libquantum"}
+	cfg.Design = DCA
+	cfg.Org = DirectMapped
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != 4 {
+		t.Fatalf("got %d IPCs, want 4", len(res.IPC))
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 {
+			t.Errorf("core %d IPC %v", i, ipc)
+		}
+	}
+}
+
+func TestTableIMixes(t *testing.T) {
+	mixes := TableIMixes()
+	if len(mixes) != 30 {
+		t.Fatalf("%d mixes, want 30", len(mixes))
+	}
+}
+
+func TestBenchmarkNames(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 11 {
+		t.Fatalf("%d benchmarks, want 11", len(names))
+	}
+}
+
+func TestAloneIPCPositive(t *testing.T) {
+	ipc, err := AloneIPC(TestConfig(), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc <= 0 {
+		t.Fatalf("alone IPC %v", ipc)
+	}
+}
+
+// TestDCAOutperformsCD is the headline acceptance test: on a
+// representative mix, DCA must beat CD in end-to-end completion time for
+// both organizations — the paper's core claim.
+func TestDCAOutperformsCD(t *testing.T) {
+	for _, org := range []Org{SetAssoc, DirectMapped} {
+		var total [2]float64
+		for i, d := range []Design{CD, DCA} {
+			cfg := TestConfig()
+			cfg.Benchmarks = []string{"lbm", "mcf", "leslie3d", "omnetpp"}
+			cfg.Org = org
+			cfg.Design = d
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total[i] = res.TotalNS()
+		}
+		if total[1] >= total[0] {
+			t.Errorf("%v: DCA (%.0f ns) not faster than CD (%.0f ns)", org, total[1], total[0])
+		}
+	}
+}
+
+// TestDCATurnaroundsLowerThanROD checks the Fig. 14/15 mechanism: DCA
+// must process far more accesses per bus turnaround than ROD.
+func TestDCATurnaroundsLowerThanROD(t *testing.T) {
+	get := func(d Design) float64 {
+		cfg := TestConfig()
+		cfg.Benchmarks = []string{"lbm", "mcf", "leslie3d", "omnetpp"}
+		cfg.Design = d
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AccessesPerTurnaround()
+	}
+	rod, dca := get(ROD), get(DCA)
+	if dca < 2*rod {
+		t.Errorf("accesses per turnaround: DCA %.1f vs ROD %.1f — DCA should be several times higher", dca, rod)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: run one multiprogrammed workload on the three DRAM-cache
+// controller designs the paper studies and compare their weighted
+// speedups — a minimal end-to-end use of the dcasim public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcasim"
+)
+
+func main() {
+	log.SetFlags(0)
+	base := dcasim.TestConfig() // small and fast; use BenchConfig for fidelity
+	mix := []string{"soplex", "mcf", "gcc", "libquantum"}
+
+	// Alone IPCs (on the CD baseline) are the denominators of weighted
+	// speedup.
+	alone := make([]float64, len(mix))
+	for i, b := range mix {
+		ipc, err := dcasim.AloneIPC(base, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alone[i] = ipc
+	}
+
+	fmt.Println("mix:", mix)
+	var wsCD float64
+	for _, d := range []dcasim.Design{dcasim.CD, dcasim.ROD, dcasim.DCA} {
+		cfg := base
+		cfg.Benchmarks = mix
+		cfg.Design = d
+		res, err := dcasim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws := 0.0
+		for i := range res.IPC {
+			ws += res.IPC[i] / alone[i]
+		}
+		if d == dcasim.CD {
+			wsCD = ws
+		}
+		fmt.Printf("%-4v weighted speedup %.3f (%.1f%% vs CD)  L2 miss latency %.0f ns  row hit %.0f%%\n",
+			d, ws, 100*(ws/wsCD-1), res.L2MissLatencyNS, 100*res.ReadRowHitRate())
+	}
+}

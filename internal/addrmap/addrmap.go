@@ -1,0 +1,102 @@
+// Package addrmap maps linear block indices of the die-stacked DRAM cache
+// array onto DRAM coordinates (channel, rank, bank, row, column).
+//
+// The paper's organization (Table II) is RoBaRaChCo with open-page rows:
+// reading the field list from most- to least-significant address bits
+// gives Row | Bank | Rank | Channel | Column. Consecutive blocks therefore
+// fill a row before moving to the next channel, which maximises row-buffer
+// locality for spatially local streams.
+//
+// The package also implements the permutation-based XOR remapping of
+// Zhang et al. (MICRO 2000) used in the paper's "with remapping"
+// experiments: the bank index is XORed with the low bits of the row index,
+// scattering same-bank conflicting rows across banks.
+package addrmap
+
+import "fmt"
+
+// Geometry describes a stacked-DRAM array.
+type Geometry struct {
+	Channels  int // independent channels, each with its own bus
+	Ranks     int // ranks per channel
+	Banks     int // banks per rank
+	RowBytes  int // row-buffer size in bytes
+	BlockSize int // access granularity in bytes (one cache block)
+}
+
+// BlocksPerRow returns the number of blocks held by one row buffer.
+func (g Geometry) BlocksPerRow() int { return g.RowBytes / g.BlockSize }
+
+// Validate reports a descriptive error for an unusable geometry.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0 || g.Ranks <= 0 || g.Banks <= 0:
+		return fmt.Errorf("addrmap: non-positive channel/rank/bank count %+v", g)
+	case g.RowBytes <= 0 || g.BlockSize <= 0:
+		return fmt.Errorf("addrmap: non-positive row or block size %+v", g)
+	case g.RowBytes%g.BlockSize != 0:
+		return fmt.Errorf("addrmap: row size %d not a multiple of block size %d", g.RowBytes, g.BlockSize)
+	case g.Channels&(g.Channels-1) != 0 || g.Ranks&(g.Ranks-1) != 0 || g.Banks&(g.Banks-1) != 0:
+		return fmt.Errorf("addrmap: channels/ranks/banks must be powers of two %+v", g)
+	}
+	return nil
+}
+
+// Loc is a fully decoded DRAM coordinate.
+type Loc struct {
+	Channel int
+	Rank    int
+	Bank    int // bank index within the rank
+	Row     int64
+	Col     int // block index within the row
+}
+
+// GlobalBank returns a dense index identifying (rank, bank) within a
+// channel, used by per-channel bank state arrays.
+func (l Loc) GlobalBank(g Geometry) int { return l.Rank*g.Banks + l.Bank }
+
+// Mapper decodes linear block indices under a Geometry, optionally with
+// XOR permutation remapping of the bank index.
+type Mapper struct {
+	Geom     Geometry
+	XORRemap bool
+}
+
+// Map decodes block index idx (block number within the DRAM array) into a
+// Loc following RoBaRaChCo ordering: column varies fastest, then channel,
+// rank, bank, and finally row.
+func (m Mapper) Map(idx int64) Loc {
+	if idx < 0 {
+		panic(fmt.Sprintf("addrmap: negative block index %d", idx))
+	}
+	g := m.Geom
+	bpr := int64(g.BlocksPerRow())
+	col := idx % bpr
+	idx /= bpr
+	ch := idx % int64(g.Channels)
+	idx /= int64(g.Channels)
+	rank := idx % int64(g.Ranks)
+	idx /= int64(g.Ranks)
+	bank := idx % int64(g.Banks)
+	row := idx / int64(g.Banks)
+	if m.XORRemap {
+		// Permutation-based interleaving: XOR the bank index with the
+		// low log2(banks) bits of the row index. Rows that would
+		// conflict in one bank now land in different banks while the
+		// mapping stays a bijection (XOR with a row-determined constant
+		// permutes banks within each row).
+		bank ^= row & int64(g.Banks-1)
+	}
+	return Loc{Channel: int(ch), Rank: int(rank), Bank: int(bank), Row: row, Col: int(col)}
+}
+
+// RowID returns a dense identifier for the (channel, rank, bank, row)
+// tuple of l, useful for grouping blocks that share a row buffer.
+func (m Mapper) RowID(l Loc) int64 {
+	g := m.Geom
+	id := l.Row
+	id = id*int64(g.Banks) + int64(l.Bank)
+	id = id*int64(g.Ranks) + int64(l.Rank)
+	id = id*int64(g.Channels) + int64(l.Channel)
+	return id
+}

@@ -1,0 +1,143 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func paperGeom() Geometry {
+	return Geometry{Channels: 4, Ranks: 1, Banks: 16, RowBytes: 4096, BlockSize: 64}
+}
+
+func TestValidate(t *testing.T) {
+	if err := paperGeom().Validate(); err != nil {
+		t.Fatalf("paper geometry invalid: %v", err)
+	}
+	bad := []Geometry{
+		{Channels: 0, Ranks: 1, Banks: 16, RowBytes: 4096, BlockSize: 64},
+		{Channels: 3, Ranks: 1, Banks: 16, RowBytes: 4096, BlockSize: 64}, // not a power of two
+		{Channels: 4, Ranks: 1, Banks: 16, RowBytes: 4096, BlockSize: 60},
+		{Channels: 4, Ranks: 1, Banks: 16, RowBytes: 0, BlockSize: 64},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad geometry %d validated: %+v", i, g)
+		}
+	}
+}
+
+func TestRoBaRaChCoOrdering(t *testing.T) {
+	m := Mapper{Geom: paperGeom()}
+	bpr := int64(m.Geom.BlocksPerRow())
+
+	// Column varies fastest: consecutive indices within a row share
+	// everything but the column.
+	a, b := m.Map(0), m.Map(1)
+	if a.Col+1 != b.Col || a.Channel != b.Channel || a.Bank != b.Bank || a.Row != b.Row {
+		t.Fatalf("consecutive blocks not column-adjacent: %+v then %+v", a, b)
+	}
+	// Then channel.
+	c := m.Map(bpr)
+	if c.Channel != 1 || c.Col != 0 || c.Row != 0 || c.Bank != 0 {
+		t.Fatalf("block at one row stride should advance channel: %+v", c)
+	}
+	// Then bank (ranks=1).
+	d := m.Map(bpr * int64(m.Geom.Channels))
+	if d.Bank != 1 || d.Channel != 0 || d.Row != 0 {
+		t.Fatalf("expected bank advance: %+v", d)
+	}
+	// Then row.
+	e := m.Map(bpr * int64(m.Geom.Channels) * int64(m.Geom.Banks))
+	if e.Row != 1 || e.Bank != 0 || e.Channel != 0 {
+		t.Fatalf("expected row advance: %+v", e)
+	}
+}
+
+func TestMapInjective(t *testing.T) {
+	// Property: Map is injective over a window, with and without
+	// remapping (the XOR permutation must stay a bijection).
+	for _, remap := range []bool{false, true} {
+		m := Mapper{Geom: paperGeom(), XORRemap: remap}
+		seen := make(map[Loc]int64)
+		for i := int64(0); i < 1<<16; i++ {
+			l := m.Map(i)
+			if prev, ok := seen[l]; ok {
+				t.Fatalf("remap=%v: blocks %d and %d collide at %+v", remap, prev, i, l)
+			}
+			seen[l] = i
+		}
+	}
+}
+
+func TestMapRanges(t *testing.T) {
+	g := paperGeom()
+	f := func(idx int64) bool {
+		if idx < 0 {
+			idx = -idx
+		}
+		idx %= 1 << 40
+		for _, remap := range []bool{false, true} {
+			m := Mapper{Geom: g, XORRemap: remap}
+			l := m.Map(idx)
+			if l.Channel < 0 || l.Channel >= g.Channels ||
+				l.Rank < 0 || l.Rank >= g.Ranks ||
+				l.Bank < 0 || l.Bank >= g.Banks ||
+				l.Col < 0 || l.Col >= g.BlocksPerRow() ||
+				l.Row < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORRemapScattersConflictingRows(t *testing.T) {
+	// Two blocks in the same bank but different rows (a conflicting pair
+	// under the identity mapping) should usually land in different banks
+	// under the XOR permutation — that is the scheme's entire point.
+	plain := Mapper{Geom: paperGeom()}
+	remap := Mapper{Geom: paperGeom(), XORRemap: true}
+	bpr := int64(paperGeom().BlocksPerRow())
+	rowStride := bpr * int64(paperGeom().Channels) * int64(paperGeom().Banks)
+
+	scattered := 0
+	const rows = 16
+	for r := int64(1); r < rows; r++ {
+		a, b := plain.Map(0), plain.Map(r*rowStride)
+		if a.Bank != b.Bank {
+			t.Fatalf("test precondition: rows %d apart should share bank 0", r)
+		}
+		ra, rb := remap.Map(0), remap.Map(r*rowStride)
+		if ra.Bank != rb.Bank {
+			scattered++
+		}
+	}
+	if scattered < rows-2 {
+		t.Fatalf("XOR remap scattered only %d of %d conflicting rows", scattered, rows-1)
+	}
+}
+
+func TestRowID(t *testing.T) {
+	m := Mapper{Geom: paperGeom()}
+	a := m.Map(0)
+	b := m.Map(1) // same row, next column
+	if m.RowID(a) != m.RowID(b) {
+		t.Fatal("same-row blocks have different RowIDs")
+	}
+	c := m.Map(int64(m.Geom.BlocksPerRow()))
+	if m.RowID(a) == m.RowID(c) {
+		t.Fatal("different channel should give different RowID")
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Map(-1) did not panic")
+		}
+	}()
+	Mapper{Geom: paperGeom()}.Map(-1)
+}

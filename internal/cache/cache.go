@@ -1,0 +1,158 @@
+// Package cache implements the functional SRAM caches of the hierarchy
+// above the DRAM cache: per-core L1s and the shared L2. The caches are
+// functional (hit/miss and replacement state); their latencies are
+// charged by the CPU model, which is where timing lives.
+package cache
+
+import "fmt"
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement over block addresses (physical address >> log2(block)).
+type Cache struct {
+	sets int64
+	ways int
+
+	tag   []int64
+	valid []bool
+	dirty []bool
+	lru   []uint32
+	tick  uint32
+
+	Hits   int64
+	Misses int64
+}
+
+// New builds a cache of the given total size. sizeBytes must be a
+// multiple of blockBytes*ways.
+func New(sizeBytes int64, blockBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || blockBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: non-positive parameter size=%d block=%d ways=%d", sizeBytes, blockBytes, ways)
+	}
+	blocks := sizeBytes / int64(blockBytes)
+	if blocks%int64(ways) != 0 {
+		return nil, fmt.Errorf("cache: %d blocks not divisible by %d ways", blocks, ways)
+	}
+	sets := blocks / int64(ways)
+	n := sets * int64(ways)
+	return &Cache{
+		sets:  sets,
+		ways:  ways,
+		tag:   make([]int64, n),
+		valid: make([]bool, n),
+		dirty: make([]bool, n),
+		lru:   make([]uint32, n),
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int64 { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) idx(set int64, way int) int64 { return set*int64(c.ways) + int64(way) }
+
+func (c *Cache) find(blockAddr int64) (set int64, way int) {
+	set = blockAddr % c.sets
+	t := blockAddr / c.sets
+	for w := 0; w < c.ways; w++ {
+		i := c.idx(set, w)
+		if c.valid[i] && c.tag[i] == t {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// Result reports the outcome of an Access.
+type Result struct {
+	Hit         bool
+	VictimAddr  int64 // block displaced by the allocation (misses only)
+	VictimValid bool
+	VictimDirty bool
+}
+
+// Access performs a load (write=false) or store (write=true) with
+// allocate-on-miss semantics and returns the displaced victim, if any.
+// Hit detection and victim selection share a single way scan: this is
+// the hottest loop of the whole simulator (every warm-up operation and
+// every timed memory operation passes through it).
+func (c *Cache) Access(blockAddr int64, write bool) Result {
+	set := blockAddr % c.sets
+	tg := blockAddr / c.sets
+	base := set * int64(c.ways)
+	c.tick++
+	victim, invalid := -1, -1
+	var oldest uint32
+	for w := 0; w < c.ways; w++ {
+		i := base + int64(w)
+		if !c.valid[i] {
+			if invalid < 0 {
+				invalid = w
+			}
+			continue
+		}
+		if c.tag[i] == tg {
+			c.Hits++
+			c.lru[i] = c.tick
+			if write {
+				c.dirty[i] = true
+			}
+			return Result{Hit: true}
+		}
+		if victim < 0 || c.lru[i] < oldest {
+			victim, oldest = w, c.lru[i]
+		}
+	}
+	c.Misses++
+	if invalid >= 0 {
+		victim = invalid
+	}
+	i := base + int64(victim)
+	res := Result{}
+	if c.valid[i] {
+		res.VictimAddr = c.tag[i]*c.sets + set
+		res.VictimValid = true
+		res.VictimDirty = c.dirty[i]
+	}
+	c.tag[i] = tg
+	c.valid[i] = true
+	c.dirty[i] = write
+	c.lru[i] = c.tick
+	return res
+}
+
+// Probe reports presence without changing any state.
+func (c *Cache) Probe(blockAddr int64) (present, dirty bool) {
+	set, way := c.find(blockAddr)
+	if way < 0 {
+		return false, false
+	}
+	return true, c.dirty[c.idx(set, way)]
+}
+
+// Clean clears the dirty bit of blockAddr if present, returning whether
+// it was dirty. Used by the Lee DRAM-aware writeback policy, which
+// eagerly writes row-mates back and leaves them resident clean.
+func (c *Cache) Clean(blockAddr int64) bool {
+	set, way := c.find(blockAddr)
+	if way < 0 {
+		return false
+	}
+	i := c.idx(set, way)
+	was := c.dirty[i]
+	c.dirty[i] = false
+	return was
+}
+
+// MissRate returns misses / (hits+misses), or 0 with no traffic.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// ResetStats clears hit/miss counters.
+func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }

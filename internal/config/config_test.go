@@ -1,0 +1,87 @@
+package config
+
+import (
+	"testing"
+
+	"dcasim/internal/core"
+	"dcasim/internal/dcache"
+)
+
+func withMix(c Config) Config {
+	c.Benchmarks = []string{"mcf", "lbm", "gcc", "milc"}
+	return c
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"paper": withMix(Paper()),
+		"bench": withMix(Bench()),
+		"test":  withMix(Test()),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+	}
+}
+
+func TestPaperMatchesTableII(t *testing.T) {
+	c := Paper()
+	if c.CacheSizeBytes != 256<<20 || c.Channels != 4 || c.Banks != 16 || c.RowBytes != 4096 {
+		t.Fatalf("stacked DRAM shape wrong: %+v", c)
+	}
+	if c.L2Bytes != 8<<20 || c.L1Bytes != 32<<10 {
+		t.Fatalf("SRAM sizes wrong: L1=%d L2=%d", c.L1Bytes, c.L2Bytes)
+	}
+	if c.CPU.FreqGHz != 4 || c.CPU.Width != 8 || c.CPU.ROB != 192 {
+		t.Fatalf("core parameters wrong: %+v", c.CPU)
+	}
+	if c.InstrPerCore != 500_000_000 {
+		t.Fatalf("paper instruction budget %d, want 500M", c.InstrPerCore)
+	}
+	if !c.UseMAPI {
+		t.Fatal("the paper's setups all use MAP-I")
+	}
+}
+
+func TestCtrlConfigPerDesign(t *testing.T) {
+	c := withMix(Bench())
+	c.Design = core.ROD
+	cc := c.CtrlConfig()
+	if cc.ReadQueueCap != 32 || cc.WriteQueueCap != 96 {
+		t.Fatalf("ROD queues %d/%d", cc.ReadQueueCap, cc.WriteQueueCap)
+	}
+	override := core.DefaultConfig(core.DCA)
+	override.FlushFactor = 2
+	c.Ctrl = &override
+	if c.CtrlConfig().FlushFactor != 2 {
+		t.Fatal("override ignored")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	base := withMix(Test())
+	cases := map[string]func(*Config){
+		"no benchmarks":      func(c *Config) { c.Benchmarks = nil },
+		"unknown benchmark":  func(c *Config) { c.Benchmarks = []string{"doom"} },
+		"zero instructions":  func(c *Config) { c.InstrPerCore = 0 },
+		"zero ws scale":      func(c *Config) { c.WSScale = 0 },
+		"negative tag cache": func(c *Config) { c.TagCacheKB = -1 },
+		"tag cache on DM":    func(c *Config) { c.TagCacheKB = 64; c.Org = dcache.DirectMapped },
+		"bad channels":       func(c *Config) { c.Channels = 3 },
+		"zero L2":            func(c *Config) { c.L2Bytes = 0 },
+	}
+	for name, mutate := range cases {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+}
+
+func TestDRAMGeometry(t *testing.T) {
+	g := Paper().DRAMGeometry()
+	if g.BlocksPerRow() != 64 {
+		t.Fatalf("blocks per row = %d, want 64", g.BlocksPerRow())
+	}
+}

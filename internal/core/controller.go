@@ -1,0 +1,354 @@
+package core
+
+import (
+	"dcasim/internal/dram"
+	"dcasim/internal/event"
+	"dcasim/internal/sched"
+	"dcasim/internal/simtime"
+)
+
+// Entry is one queued DRAM access together with the request context the
+// controllers classify on.
+type Entry struct {
+	Acc     *dram.Access
+	ReqType RequestType
+
+	// priorityRead is true for read accesses belonging to cache read
+	// requests (PRs); it is derived in Enqueue.
+	priorityRead bool
+	enqueued     simtime.Time
+	seq          uint64
+}
+
+// PriorityRead reports the PR/LR classification assigned at enqueue time.
+func (e *Entry) PriorityRead() bool { return e.priorityRead }
+
+// Stats aggregates the controller-level counters the evaluation consumes.
+type Stats struct {
+	PRIssued      int64
+	LRIssued      int64
+	WritesIssued  int64
+	OFSIssues     int64 // LRs issued through the opportunistic flush path
+	ScheduleAllOn int64 // times the hysteresis engaged
+	ForcedFlushes int64 // write drains triggered by the high threshold
+	IdleSlots     int64 // scheduling slots with nothing eligible
+
+	ReadQueueWait  simtime.Time // summed queue residency of read-queue issues
+	WriteQueueWait simtime.Time
+}
+
+// Controller schedules accesses onto one DRAM channel according to a
+// Design. It is event-driven: Enqueue inserts work and the controller
+// re-evaluates whenever the channel completes an access or new work
+// arrives.
+type Controller struct {
+	eng   *event.Engine
+	ch    *dram.Channel
+	cfg   Config
+	bliss *sched.BLISS
+
+	readQ  []*Entry
+	writeQ []*Entry
+	// Overflow holds entries beyond the architected queue capacities in
+	// arrival order. Real hardware exerts backpressure on the cache
+	// frontend; modelling that as a spill queue keeps the occupancy
+	// thresholds meaningful without entangling the frontend FSMs in flow
+	// control. Spills are rare at the paper's queue sizes.
+	overflowR []*Entry
+	overflowW []*Entry
+
+	draining    bool
+	scheduleAll bool
+	rrpc        []uint8 // 3-bit per-bank re-reference prediction counters
+	busy        bool
+	seq         uint64
+
+	stats Stats
+}
+
+// NewController builds a controller for one channel serving `apps`
+// applications. The config must validate.
+func NewController(eng *event.Engine, ch *dram.Channel, cfg Config, apps int) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Controller{
+		eng:   eng,
+		ch:    ch,
+		cfg:   cfg,
+		bliss: sched.NewBLISS(apps),
+		rrpc:  make([]uint8, ch.Banks()),
+	}
+}
+
+// Design returns the controller's design.
+func (c *Controller) Design() Design { return c.cfg.Design }
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats clears the controller counters (used after warm-up).
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// QueueDepths returns the current architected read/write queue depths,
+// exposed for tests and debugging.
+func (c *Controller) QueueDepths() (reads, writes int) {
+	return len(c.readQ), len(c.writeQ)
+}
+
+// Enqueue routes one access into the controller's queues following the
+// design's classification rule and triggers a scheduling evaluation.
+func (c *Controller) Enqueue(acc *dram.Access, reqType RequestType) {
+	c.seq++
+	e := &Entry{Acc: acc, ReqType: reqType, enqueued: c.eng.Now(), seq: c.seq}
+	toWrite := c.routesToWriteQueue(acc.Kind, reqType)
+	if !toWrite && !acc.Kind.IsWrite() {
+		e.priorityRead = reqType == ReadReq
+	}
+	if toWrite {
+		if len(c.writeQ) < c.cfg.WriteQueueCap {
+			c.writeQ = append(c.writeQ, e)
+		} else {
+			c.overflowW = append(c.overflowW, e)
+		}
+	} else {
+		if len(c.readQ) < c.cfg.ReadQueueCap {
+			c.readQ = append(c.readQ, e)
+		} else {
+			c.overflowR = append(c.overflowR, e)
+		}
+	}
+	c.kick()
+}
+
+// routesToWriteQueue implements Fig. 3 (CD, ROD) and Fig. 6 (DCA).
+func (c *Controller) routesToWriteQueue(kind dram.Kind, reqType RequestType) bool {
+	switch c.cfg.Design {
+	case ROD:
+		// Request-oriented: everything follows its request, except the
+		// write-tag of a read request which the paper's footnote sends
+		// to the write queue for performance.
+		if reqType == ReadReq {
+			return kind.IsWrite()
+		}
+		return true
+	default: // CD and DCA classify by access type.
+		return kind.IsWrite()
+	}
+}
+
+// kick evaluates the scheduler if the channel is idle.
+func (c *Controller) kick() {
+	if c.busy {
+		return
+	}
+	now := c.eng.Now()
+	e, fromRead, viaOFS := c.pick(now)
+	if e == nil {
+		c.stats.IdleSlots++
+		return
+	}
+	c.issue(e, fromRead, viaOFS, now)
+}
+
+// pick chooses the next entry to service, returning whether it came from
+// the read queue and whether it was an OFS low-priority-read issue.
+func (c *Controller) pick(now simtime.Time) (e *Entry, fromRead, viaOFS bool) {
+	c.updateDrainState()
+	c.updateScheduleAll()
+
+	if c.draining {
+		if e := c.best(c.writeQ, now, nil); e != nil {
+			return e, false, false
+		}
+		// The write queue emptied below the capacity threshold only via
+		// completions; fall through to reads.
+	}
+
+	// Read queue: CD and ROD schedule every entry; DCA schedules PRs
+	// unless ScheduleAll engaged.
+	var filter func(*Entry) bool
+	if c.cfg.Design == DCA && !c.scheduleAll {
+		filter = func(e *Entry) bool { return e.priorityRead }
+	}
+	if e := c.best(c.readQ, now, filter); e != nil {
+		return e, true, false
+	}
+
+	// DCA opportunistic flushing of LRs: only when no PR was eligible
+	// and occupancy is below the ScheduleAll threshold (guaranteed here
+	// because ScheduleAll would have widened the filter above).
+	if c.cfg.Design == DCA && !c.scheduleAll {
+		if e := c.best(c.readQ, now, c.ofsEligible); e != nil {
+			return e, true, true
+		}
+	}
+
+	// Passive write flush: no read work pending, write queue above the
+	// low threshold.
+	if len(c.writeQ) > c.writeLowCount() {
+		if e := c.best(c.writeQ, now, nil); e != nil {
+			return e, false, false
+		}
+	}
+	return nil, false, false
+}
+
+// ofsEligible implements the OFS criteria (§IV-C): schedule an LR if its
+// bank has no row conflict, or the bank's RRPC is below the flushing
+// factor (the bank has not been touched by PRs recently).
+func (c *Controller) ofsEligible(e *Entry) bool {
+	if e.priorityRead {
+		return false
+	}
+	if c.ch.Peek(e.Acc.Loc) != dram.RowConflict {
+		return true
+	}
+	return c.rrpc[c.ch.GlobalBank(e.Acc.Loc)] < c.cfg.FlushFactor
+}
+
+// best scans q for the highest-priority entry passing filter:
+// non-blacklisted applications first (BLISS), then row hits (FR-FCFS),
+// then accesses matching the bus's current direction (amortising
+// turnaround delays — this only matters for ROD, whose queues mix reads
+// and writes), then oldest arrival.
+func (c *Controller) best(q []*Entry, now simtime.Time, filter func(*Entry) bool) *Entry {
+	lastDir := c.ch.LastDir()
+	alg := c.cfg.Algorithm
+	var pick *Entry
+	var pickKey [4]int64
+	for _, e := range q {
+		if filter != nil && !filter(e) {
+			continue
+		}
+		key := [4]int64{0, 0, 0, int64(e.seq)}
+		if alg == AlgBLISS && c.bliss.Blacklisted(now, e.Acc.App) {
+			key[0] = 1
+		}
+		if alg != AlgFCFS {
+			if c.ch.Peek(e.Acc.Loc) != dram.RowHit {
+				key[1] = 1
+			}
+			dir := dram.DirRead
+			if e.Acc.Kind.IsWrite() {
+				dir = dram.DirWrite
+			}
+			if lastDir != dram.DirNone && dir != lastDir {
+				key[2] = 1
+			}
+		}
+		if pick == nil || less(key, pickKey) {
+			pick, pickKey = e, key
+		}
+	}
+	return pick
+}
+
+func less(a, b [4]int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// issue services e on the channel and schedules the completion event.
+func (c *Controller) issue(e *Entry, fromRead, viaOFS bool, now simtime.Time) {
+	if fromRead {
+		c.remove(&c.readQ, e)
+		c.refill(&c.readQ, &c.overflowR, c.cfg.ReadQueueCap)
+		c.stats.ReadQueueWait += now - e.enqueued
+	} else {
+		c.remove(&c.writeQ, e)
+		c.refill(&c.writeQ, &c.overflowW, c.cfg.WriteQueueCap)
+		c.stats.WriteQueueWait += now - e.enqueued
+	}
+
+	if e.Acc.Kind.IsWrite() {
+		c.stats.WritesIssued++
+	} else if e.priorityRead {
+		c.stats.PRIssued++
+		c.touchRRPC(c.ch.GlobalBank(e.Acc.Loc))
+	} else {
+		c.stats.LRIssued++
+		if viaOFS {
+			c.stats.OFSIssues++
+		}
+	}
+
+	done := c.ch.Issue(e.Acc, now)
+	c.bliss.OnServed(now, e.Acc.App)
+	c.busy = true
+	c.eng.At(done, func() {
+		c.busy = false
+		if e.Acc.Done != nil {
+			e.Acc.Done(done)
+		}
+		c.kick()
+	})
+}
+
+// touchRRPC applies the RRIP-style update: every bank counter decays by
+// one (floor zero) and the bank just accessed by a PR becomes most
+// recent (7).
+func (c *Controller) touchRRPC(bank int) {
+	for i := range c.rrpc {
+		if c.rrpc[i] > 0 {
+			c.rrpc[i]--
+		}
+	}
+	c.rrpc[bank] = 7
+}
+
+// RRPC exposes a bank's counter for tests.
+func (c *Controller) RRPC(bank int) uint8 { return c.rrpc[bank] }
+
+func (c *Controller) updateDrainState() {
+	hi := int(float64(c.cfg.WriteQueueCap)*c.cfg.WriteFlushHigh + 0.5)
+	if !c.draining && len(c.writeQ) >= hi {
+		c.draining = true
+		c.stats.ForcedFlushes++
+	}
+	if c.draining && len(c.writeQ) <= c.writeLowCount() {
+		c.draining = false
+	}
+}
+
+func (c *Controller) writeLowCount() int {
+	return int(float64(c.cfg.WriteQueueCap)*c.cfg.WriteFlushLow + 0.5)
+}
+
+func (c *Controller) updateScheduleAll() {
+	if c.cfg.Design != DCA {
+		return
+	}
+	occ := float64(len(c.readQ)) / float64(c.cfg.ReadQueueCap)
+	if !c.scheduleAll && occ > c.cfg.ScheduleAllHigh {
+		c.scheduleAll = true
+		c.stats.ScheduleAllOn++
+	} else if c.scheduleAll && occ < c.cfg.ScheduleAllLow {
+		c.scheduleAll = false
+	}
+}
+
+func (c *Controller) remove(q *[]*Entry, e *Entry) {
+	s := *q
+	for i, x := range s {
+		if x == e {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			*q = s[:len(s)-1]
+			return
+		}
+	}
+	panic("core: entry not found in queue")
+}
+
+func (c *Controller) refill(q, overflow *[]*Entry, cap int) {
+	for len(*q) < cap && len(*overflow) > 0 {
+		*q = append(*q, (*overflow)[0])
+		(*overflow)[0] = nil
+		*overflow = (*overflow)[1:]
+	}
+}

@@ -1,0 +1,177 @@
+// Package core implements the paper's primary contribution: DRAM cache
+// controllers that schedule the multiple DRAM accesses a DRAM-cache
+// request expands into.
+//
+// Three designs are provided (paper §III–§IV):
+//
+//   - CD, the Conventional Design: accesses are queued by access type
+//     (reads to the read queue, writes to the write queue) exactly as in a
+//     conventional DRAM memory controller. CD minimises bus turnarounds
+//     but suffers read priority inversion and read-read conflicts because
+//     tag reads of writeback requests share the read queue with the
+//     latency-critical reads of cache read requests.
+//
+//   - ROD, the Request-Oriented Design: accesses are queued by request
+//     type (all accesses of a read request to the read queue; all accesses
+//     of writeback/refill requests to the write queue, with the write-tag
+//     of a read request also going to the write queue). ROD avoids
+//     priority inversion but mixes reads and writes inside each queue, so
+//     it pays frequent bus turnarounds and longer write-queue flushes.
+//
+//   - DCA, the DRAM-Cache-Aware design: CD's queue mapping plus a
+//     two-level read classification. Reads from cache read requests are
+//     priority reads (PR); reads from writeback/refill requests are
+//     low-priority reads (LR). LRs are held like writes and drained either
+//     when read-queue occupancy crosses a hysteresis threshold
+//     (ScheduleAll, on >85 % / off <75 %) or opportunistically (OFS) when
+//     no PR is pending and the LR's bank shows no row conflict or has a
+//     re-reference prediction counter (RRPC) below the flushing factor.
+//
+// Each Controller instance manages one DRAM channel; the underlying
+// scheduling algorithm within a priority class is BLISS with FR-FCFS
+// tie-breaking, per the paper's methodology.
+package core
+
+import "fmt"
+
+// Design selects one of the three controller organisations.
+type Design int
+
+const (
+	CD Design = iota
+	ROD
+	DCA
+)
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	switch d {
+	case CD:
+		return "CD"
+	case ROD:
+		return "ROD"
+	case DCA:
+		return "DCA"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// ParseDesign converts a name ("cd", "rod", "dca") to a Design.
+func ParseDesign(s string) (Design, error) {
+	switch s {
+	case "cd", "CD":
+		return CD, nil
+	case "rod", "ROD":
+		return ROD, nil
+	case "dca", "DCA":
+		return DCA, nil
+	}
+	return CD, fmt.Errorf("core: unknown design %q", s)
+}
+
+// RequestType classifies the DRAM-cache request an access belongs to.
+type RequestType uint8
+
+const (
+	ReadReq      RequestType = iota // demand read from the upper-level cache
+	WritebackReq                    // dirty eviction from the upper-level cache
+	RefillReq                       // fill after a DRAM-cache miss
+)
+
+// String implements fmt.Stringer.
+func (t RequestType) String() string {
+	switch t {
+	case ReadReq:
+		return "read"
+	case WritebackReq:
+		return "writeback"
+	case RefillReq:
+		return "refill"
+	}
+	return "?"
+}
+
+// Algorithm selects the base scheduling algorithm within a priority
+// class. The paper evaluates on BLISS but notes DCA "is not limited to
+// any scheduling algorithm"; the alternatives let that claim be tested.
+type Algorithm int
+
+const (
+	// AlgBLISS is blacklisting + row-hit-first + direction + age.
+	AlgBLISS Algorithm = iota
+	// AlgFRFCFS drops the blacklisting component.
+	AlgFRFCFS
+	// AlgFCFS is pure age order (no row-hit or direction preference).
+	AlgFCFS
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgBLISS:
+		return "BLISS"
+	case AlgFRFCFS:
+		return "FR-FCFS"
+	case AlgFCFS:
+		return "FCFS"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Config holds the per-channel queue and threshold parameters (Table II).
+type Config struct {
+	Design    Design
+	Algorithm Algorithm // base scheduling algorithm (default BLISS)
+
+	ReadQueueCap  int
+	WriteQueueCap int
+
+	// Write-queue passive flushing thresholds as queue fractions:
+	// reaching High forces a drain that stops at Low; when no reads are
+	// pending a drain also starts above Low.
+	WriteFlushLow  float64
+	WriteFlushHigh float64
+
+	// DCA ScheduleAll hysteresis on read-queue occupancy.
+	ScheduleAllHigh float64
+	ScheduleAllLow  float64
+
+	// FlushFactor is the OFS RRPC threshold (FF; the paper uses FF-4).
+	FlushFactor uint8
+}
+
+// DefaultConfig returns the Table II parameters for a design: 64-entry
+// read and write queues (ROD: 32-entry read, 96-entry write), write flush
+// thresholds 50 %/85 %, DCA ScheduleAll thresholds 75 %/85 %, FF-4.
+func DefaultConfig(d Design) Config {
+	cfg := Config{
+		Design:          d,
+		ReadQueueCap:    64,
+		WriteQueueCap:   64,
+		WriteFlushLow:   0.50,
+		WriteFlushHigh:  0.85,
+		ScheduleAllHigh: 0.85,
+		ScheduleAllLow:  0.75,
+		FlushFactor:     4,
+	}
+	if d == ROD {
+		cfg.ReadQueueCap = 32
+		cfg.WriteQueueCap = 96
+	}
+	return cfg
+}
+
+// Validate reports a descriptive error for unusable parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0:
+		return fmt.Errorf("core: non-positive queue capacity %+v", c)
+	case c.WriteFlushLow <= 0 || c.WriteFlushHigh > 1 || c.WriteFlushLow > c.WriteFlushHigh:
+		return fmt.Errorf("core: bad write flush thresholds low=%v high=%v", c.WriteFlushLow, c.WriteFlushHigh)
+	case c.ScheduleAllLow <= 0 || c.ScheduleAllHigh > 1 || c.ScheduleAllLow > c.ScheduleAllHigh:
+		return fmt.Errorf("core: bad ScheduleAll thresholds low=%v high=%v", c.ScheduleAllLow, c.ScheduleAllHigh)
+	case c.FlushFactor > 7:
+		return fmt.Errorf("core: flush factor %d exceeds 3-bit RRPC range", c.FlushFactor)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package cpu
+
+import (
+	"dcasim/internal/cache"
+	"dcasim/internal/dcache"
+	"dcasim/internal/event"
+	"dcasim/internal/simtime"
+)
+
+// L2 is the shared last-level SRAM cache in front of the DRAM cache. It
+// is functional with a fixed hit latency; misses go to the DRAM cache and
+// merge in MSHRs. Dirty evictions become DRAM-cache writeback requests,
+// optionally widened by the Lee DRAM-aware writeback policy (Fig. 19):
+// when a dirty block is evicted, other dirty L2 blocks that map to the
+// same DRAM-cache row are eagerly written back (and left resident clean),
+// so the DRAM cache services row-batched writes.
+type L2 struct {
+	eng    *event.Engine
+	arr    *cache.Cache
+	dc     *dcache.DCache
+	hitLat simtime.Time
+	lee    bool
+
+	mshr map[int64][]func(simtime.Time)
+
+	Reads        int64
+	ReadMisses   int64
+	Writebacks   int64 // dirty evictions sent to the DRAM cache
+	LeeEager     int64 // extra row-mate writebacks issued by the Lee policy
+	MissLatency  simtime.Time
+	MissesServed int64
+}
+
+// NewL2 builds the shared L2.
+func NewL2(eng *event.Engine, arr *cache.Cache, dc *dcache.DCache, hitLat simtime.Time, lee bool) *L2 {
+	return &L2{
+		eng:    eng,
+		arr:    arr,
+		dc:     dc,
+		hitLat: hitLat,
+		lee:    lee,
+		mshr:   make(map[int64][]func(simtime.Time)),
+	}
+}
+
+// Read services a load that missed in L1. done fires when the block is
+// available to the core.
+func (l *L2) Read(addr int64, coreID int, pc uint64, done func(simtime.Time)) {
+	l.Reads++
+	present, _ := l.arr.Probe(addr)
+	if present {
+		l.arr.Access(addr, false) // refresh LRU
+		l.eng.After(l.hitLat, func() { done(l.eng.Now()) })
+		return
+	}
+	l.ReadMisses++
+	if waiters, ok := l.mshr[addr]; ok {
+		l.mshr[addr] = append(waiters, done)
+		return
+	}
+	l.mshr[addr] = []func(simtime.Time){done}
+	start := l.eng.Now()
+	l.dc.Read(addr, coreID, pc, func(now simtime.Time) {
+		l.MissLatency += now - start
+		l.MissesServed++
+		l.install(addr, false, coreID)
+		waiters := l.mshr[addr]
+		delete(l.mshr, addr)
+		for _, w := range waiters {
+			w(now)
+		}
+	})
+}
+
+// Write installs a dirty block (an L1 dirty eviction). Allocation is
+// no-fetch: stores are off the critical path in this study.
+func (l *L2) Write(addr int64, coreID int) {
+	l.install(addr, true, coreID)
+}
+
+// install places addr in the array and routes any dirty victim to the
+// DRAM cache as a writeback request.
+func (l *L2) install(addr int64, dirty bool, coreID int) {
+	res := l.arr.Access(addr, dirty)
+	if res.Hit || !res.VictimValid || !res.VictimDirty {
+		return
+	}
+	l.writeback(res.VictimAddr, coreID)
+	if l.lee {
+		l.leeDrain(res.VictimAddr, coreID)
+	}
+}
+
+func (l *L2) writeback(addr int64, coreID int) {
+	l.Writebacks++
+	l.dc.Writeback(addr, coreID)
+}
+
+// leeDrain implements the Lee policy: probe the victim's DRAM-row-mates
+// and eagerly write back the dirty ones, leaving them resident clean.
+func (l *L2) leeDrain(victim int64, coreID int) {
+	lo, hi := l.dc.RowSpan(victim)
+	for a := lo; a < hi; a++ {
+		if a == victim {
+			continue
+		}
+		if present, dirty := l.arr.Probe(a); present && dirty {
+			l.arr.Clean(a)
+			l.LeeEager++
+			l.writeback(a, coreID)
+		}
+	}
+}
+
+// WarmRead is the functional warm-up read path.
+func (l *L2) WarmRead(addr int64, coreID int, pc uint64) {
+	present, _ := l.arr.Probe(addr)
+	if present {
+		l.arr.Access(addr, false)
+		return
+	}
+	l.dc.WarmRead(addr, coreID, pc)
+	l.warmInstall(addr, false, coreID)
+}
+
+// WarmWrite is the functional warm-up write path.
+func (l *L2) WarmWrite(addr int64, coreID int) {
+	l.warmInstall(addr, true, coreID)
+}
+
+func (l *L2) warmInstall(addr int64, dirty bool, coreID int) {
+	res := l.arr.Access(addr, dirty)
+	if !res.Hit && res.VictimValid && res.VictimDirty {
+		l.dc.WarmWrite(res.VictimAddr, coreID)
+	}
+}
+
+// AvgMissLatency returns the mean time the L2 waited on the DRAM cache,
+// the paper's L2-miss-latency metric (Figs. 12/13).
+func (l *L2) AvgMissLatency() simtime.Time {
+	if l.MissesServed == 0 {
+		return 0
+	}
+	return l.MissLatency / simtime.Time(l.MissesServed)
+}
+
+// ResetStats clears counters at the warm-up boundary.
+func (l *L2) ResetStats() {
+	l.Reads, l.ReadMisses, l.Writebacks, l.LeeEager = 0, 0, 0, 0
+	l.MissLatency, l.MissesServed = 0, 0
+	l.arr.ResetStats()
+}

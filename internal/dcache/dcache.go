@@ -1,0 +1,447 @@
+package dcache
+
+import (
+	"fmt"
+
+	"dcasim/internal/addrmap"
+	"dcasim/internal/core"
+	"dcasim/internal/dram"
+	"dcasim/internal/event"
+	"dcasim/internal/mainmem"
+	"dcasim/internal/mempred"
+	"dcasim/internal/simtime"
+	"dcasim/internal/tagcache"
+)
+
+// Config assembles a DRAM cache instance.
+type Config struct {
+	Org       Org
+	SizeBytes int64
+	DRAM      addrmap.Geometry
+	Timing    dram.Timing
+	XORRemap  bool
+	Ctrl      core.Config
+	UseMAPI   bool
+	TagCache  *tagcache.Config // nil disables the SRAM tag cache
+	// BEARProbe models BEAR's Bandwidth Efficient Writeback Probe (Chou
+	// et al., ISCA 2015): writebacks that hit skip the tag-read probe.
+	// Modeled as an ideal probe filter; an extension beyond the paper's
+	// baseline configurations (its related work argues DCA composes
+	// with BEAR by scheduling the residual accesses).
+	BEARProbe bool
+	Cores     int
+}
+
+// Stats aggregates request-level counters. DRAM- and controller-level
+// counters are reported separately via DRAMStats and CtrlStats.
+type Stats struct {
+	ReadReqs      int64
+	ReadHits      int64
+	ReadMisses    int64
+	WritebackReqs int64
+	WritebackHits int64
+	WritebackMiss int64
+	RefillReqs    int64
+	VictimWrites  int64 // dirty victims written to main memory
+	BEARElided    int64 // writeback tag probes removed by the BEAR filter
+
+	ReadsCompleted int64
+	ReadLatency    simtime.Time // summed arrival→completion time of reads
+	WastedFetches  int64        // MAP-I predicted miss but the tag probe hit
+}
+
+// AvgReadLatency returns the mean DRAM-cache read request latency, the
+// quantity behind the paper's L2-miss-latency figures.
+func (s Stats) AvgReadLatency() simtime.Time {
+	if s.ReadsCompleted == 0 {
+		return 0
+	}
+	return s.ReadLatency / simtime.Time(s.ReadsCompleted)
+}
+
+// ReadHitRate returns the fraction of read requests that hit.
+func (s Stats) ReadHitRate() float64 {
+	if s.ReadReqs == 0 {
+		return 0
+	}
+	return float64(s.ReadHits) / float64(s.ReadReqs)
+}
+
+// DCache is a die-stacked DRAM cache with tags in DRAM.
+type DCache struct {
+	eng    *event.Engine
+	geom   Geometry
+	mapper addrmap.Mapper
+	tags   *tagStore
+	chans  []*dram.Channel
+	ctrls  []*core.Controller
+	mem    *mainmem.Memory
+	mapi   *mempred.MAPI
+	tcache *tagcache.TagCache
+	bear   bool
+
+	stats Stats
+}
+
+// New builds the DRAM cache, its channels, and one controller per
+// channel.
+func New(eng *event.Engine, cfg Config, mem *mainmem.Memory) (*DCache, error) {
+	geom, err := NewGeometry(cfg.Org, cfg.SizeBytes, cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Ctrl.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("dcache: non-positive core count %d", cfg.Cores)
+	}
+	d := &DCache{
+		eng:    eng,
+		geom:   geom,
+		mapper: addrmap.Mapper{Geom: cfg.DRAM, XORRemap: cfg.XORRemap},
+		tags:   newTagStore(geom),
+		mem:    mem,
+	}
+	for i := 0; i < cfg.DRAM.Channels; i++ {
+		ch := dram.NewChannel(cfg.Timing, cfg.DRAM)
+		d.chans = append(d.chans, ch)
+		d.ctrls = append(d.ctrls, core.NewController(eng, ch, cfg.Ctrl, cfg.Cores))
+	}
+	if cfg.UseMAPI {
+		d.mapi = mempred.New(cfg.Cores)
+	}
+	if cfg.TagCache != nil {
+		if cfg.Org != SetAssoc {
+			return nil, fmt.Errorf("dcache: tag cache study applies to the set-associative organization")
+		}
+		d.tcache = tagcache.New(*cfg.TagCache)
+	}
+	d.bear = cfg.BEARProbe
+	return d, nil
+}
+
+// Geometry returns the derived cache geometry.
+func (d *DCache) Geometry() Geometry { return d.geom }
+
+// Stats returns the request-level counters.
+func (d *DCache) Stats() Stats { return d.stats }
+
+// DRAMStats sums the channel counters.
+func (d *DCache) DRAMStats() dram.Stats {
+	var s dram.Stats
+	for _, ch := range d.chans {
+		s.Add(ch.Stats())
+	}
+	return s
+}
+
+// CtrlStats sums the controller counters.
+func (d *DCache) CtrlStats() core.Stats {
+	var s core.Stats
+	for _, c := range d.ctrls {
+		cs := c.Stats()
+		s.PRIssued += cs.PRIssued
+		s.LRIssued += cs.LRIssued
+		s.WritesIssued += cs.WritesIssued
+		s.OFSIssues += cs.OFSIssues
+		s.ScheduleAllOn += cs.ScheduleAllOn
+		s.ForcedFlushes += cs.ForcedFlushes
+		s.IdleSlots += cs.IdleSlots
+		s.ReadQueueWait += cs.ReadQueueWait
+		s.WriteQueueWait += cs.WriteQueueWait
+	}
+	return s
+}
+
+// TagCache returns the SRAM tag cache, or nil.
+func (d *DCache) TagCache() *tagcache.TagCache { return d.tcache }
+
+// Predictor returns the MAP-I instance, or nil.
+func (d *DCache) Predictor() *mempred.MAPI { return d.mapi }
+
+// ResetStats clears request, controller, channel, tag-cache, and main
+// memory statistics at the warm-up boundary.
+func (d *DCache) ResetStats() {
+	d.stats = Stats{}
+	for _, ch := range d.chans {
+		ch.ResetStats()
+	}
+	for _, c := range d.ctrls {
+		c.ResetStats()
+	}
+	if d.tcache != nil {
+		d.tcache.ResetStats()
+	}
+}
+
+func (d *DCache) enqueue(kind dram.Kind, loc addrmap.Loc, bytes, coreID int, reqType core.RequestType, done func(simtime.Time)) {
+	acc := &dram.Access{Kind: kind, Loc: loc, Bytes: bytes, App: coreID, Done: done}
+	d.ctrls[loc.Channel].Enqueue(acc, reqType)
+}
+
+// readReq tracks one in-flight cache read request across its tag probe
+// and (on a miss) the overlapped main-memory fetch.
+type readReq struct {
+	d             *DCache
+	addr          int64
+	coreID        int
+	pc            uint64
+	start         simtime.Time
+	predictedMiss bool
+	fetchStarted  bool
+	memDone       bool
+	memAt         simtime.Time
+	tagDone       bool
+	hit           bool
+	finished      bool
+	done          func(simtime.Time)
+}
+
+// Read issues a cache read request for block address addr (a block
+// number, i.e. physical address >> 6). done fires when the data is
+// available to the requester.
+func (d *DCache) Read(addr int64, coreID int, pc uint64, done func(simtime.Time)) {
+	d.stats.ReadReqs++
+	r := &readReq{d: d, addr: addr, coreID: coreID, pc: pc, start: d.eng.Now(), done: done}
+
+	if d.mapi != nil && d.mapi.PredictMiss(coreID, pc) {
+		r.predictedMiss = true
+		r.startFetch()
+	}
+
+	set := d.geom.SetOf(addr)
+	probeKind, probeBytes := dram.ReadTag, BlockBytes
+	if d.geom.Org == DirectMapped {
+		probeKind, probeBytes = dram.ReadTAD, TADBytes
+	}
+	if d.tcache != nil {
+		hit, fetches := d.tcache.Lookup(d.geom.TagBlockIndex(set), d.geom.TagRowSiblings(set))
+		if hit {
+			r.afterTag(d.eng.Now())
+			return
+		}
+		d.enqueueTagFetches(set, fetches, coreID, core.ReadReq, r.afterTag)
+		return
+	}
+	d.enqueue(probeKind, d.geom.TagLoc(set, d.mapper), probeBytes, coreID, core.ReadReq, r.afterTag)
+}
+
+// enqueueTagFetches issues the demanded tag-block read plus the tag
+// cache's spatial prefetches of sibling tag blocks in the same row.
+func (d *DCache) enqueueTagFetches(set int64, fetches, coreID int, reqType core.RequestType, done func(simtime.Time)) {
+	d.enqueue(dram.ReadTag, d.geom.TagLoc(set, d.mapper), BlockBytes, coreID, reqType, done)
+	issued := 1
+	for _, sib := range d.geom.TagRowSiblings(set) {
+		if issued >= fetches {
+			break
+		}
+		if sib == set {
+			continue
+		}
+		d.enqueue(dram.ReadTag, d.geom.TagLoc(sib, d.mapper), BlockBytes, coreID, reqType, nil)
+		issued++
+	}
+}
+
+func (r *readReq) startFetch() {
+	r.fetchStarted = true
+	r.d.mem.Read(func(at simtime.Time) {
+		r.memDone = true
+		r.memAt = at
+		if r.tagDone && !r.hit {
+			r.finishMiss(at)
+		}
+	})
+}
+
+func (r *readReq) afterTag(now simtime.Time) {
+	d := r.d
+	set, way := d.tags.lookup(r.addr)
+	r.tagDone = true
+	if way >= 0 {
+		r.hit = true
+		d.stats.ReadHits++
+		d.tags.touch(set, way)
+		if d.mapi != nil {
+			d.mapi.Update(r.coreID, r.pc, r.predictedMiss, true)
+			if r.predictedMiss {
+				d.stats.WastedFetches++
+			}
+		}
+		if d.geom.Org == SetAssoc {
+			// Data read (PR), then the replacement-bit tag write.
+			d.enqueue(dram.ReadData, d.geom.DataLoc(set, way, d.mapper), BlockBytes, r.coreID, core.ReadReq, r.complete)
+			d.enqueue(dram.WriteTag, d.geom.TagLoc(set, d.mapper), BlockBytes, r.coreID, core.ReadReq, nil)
+		} else {
+			// The TAD probe already carried the data.
+			r.complete(now)
+		}
+		return
+	}
+	d.stats.ReadMisses++
+	if d.mapi != nil {
+		d.mapi.Update(r.coreID, r.pc, r.predictedMiss, false)
+	}
+	if !r.fetchStarted {
+		r.startFetch()
+	} else if r.memDone {
+		r.finishMiss(simtime.Max(now, r.memAt))
+	}
+}
+
+func (r *readReq) finishMiss(now simtime.Time) {
+	if r.finished {
+		return
+	}
+	r.complete(now)
+	r.d.stats.RefillReqs++
+	r.d.write(r.addr, r.coreID, core.RefillReq)
+}
+
+func (r *readReq) complete(now simtime.Time) {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.d.stats.ReadsCompleted++
+	r.d.stats.ReadLatency += now - r.start
+	if r.done != nil {
+		r.done(now)
+	}
+}
+
+// Writeback issues a dirty-eviction write request from the upper-level
+// cache. It is fire-and-forget: writebacks are never on the critical
+// path.
+func (d *DCache) Writeback(addr int64, coreID int) {
+	d.stats.WritebackReqs++
+	d.write(addr, coreID, core.WritebackReq)
+}
+
+// write implements the shared writeback/refill translation (Fig. 2): a
+// tag read, then data+tag writes, with a victim data read when a dirty
+// block must be displaced.
+func (d *DCache) write(addr int64, coreID int, reqType core.RequestType) {
+	set := d.geom.SetOf(addr)
+	afterTag := func(now simtime.Time) { d.afterWriteTag(addr, coreID, reqType, now) }
+
+	// BEAR writeback probe: a hit needs no tag read before the writes.
+	if d.bear && reqType == core.WritebackReq {
+		if _, way := d.tags.lookup(addr); way >= 0 {
+			d.stats.BEARElided++
+			afterTag(d.eng.Now())
+			return
+		}
+	}
+
+	if d.tcache != nil {
+		hit, fetches := d.tcache.Lookup(d.geom.TagBlockIndex(set), d.geom.TagRowSiblings(set))
+		if hit {
+			afterTag(d.eng.Now())
+			return
+		}
+		d.enqueueTagFetches(set, fetches, coreID, reqType, afterTag)
+		return
+	}
+	probeKind, probeBytes := dram.ReadTag, BlockBytes
+	if d.geom.Org == DirectMapped {
+		// The probe streams the whole TAD so a dirty victim's data
+		// arrives with the tag — no separate victim read is needed.
+		probeBytes = TADBytes
+	}
+	d.enqueue(probeKind, d.geom.TagLoc(set, d.mapper), probeBytes, coreID, reqType, afterTag)
+}
+
+func (d *DCache) afterWriteTag(addr int64, coreID int, reqType core.RequestType, now simtime.Time) {
+	set, way := d.tags.lookup(addr)
+	if way >= 0 {
+		if reqType == core.WritebackReq {
+			d.stats.WritebackHits++
+			d.tags.setDirty(set, way)
+		}
+		d.tags.touch(set, way)
+		d.issueDataWrite(set, way, coreID, reqType)
+		return
+	}
+
+	if reqType == core.WritebackReq {
+		d.stats.WritebackMiss++
+	}
+	vw := d.tags.victim(set)
+	_, valid, dirty := d.tags.victimInfo(set, vw)
+	writeVictim := valid && dirty
+	d.tags.install(addr, set, vw, reqType == core.WritebackReq)
+	if writeVictim {
+		d.stats.VictimWrites++
+		if d.geom.Org == SetAssoc {
+			// Read the victim's data out of the array before
+			// overwriting it (Fig. 2's RDw), then write it to main
+			// memory and perform the data+tag writes.
+			d.enqueue(dram.ReadData, d.geom.DataLoc(set, vw, d.mapper), BlockBytes, coreID, reqType,
+				func(simtime.Time) {
+					d.mem.Write()
+					d.issueDataWrite(set, vw, coreID, reqType)
+				})
+			return
+		}
+		// Direct-mapped: the probe already carried the victim TAD.
+		d.mem.Write()
+	}
+	d.issueDataWrite(set, vw, coreID, reqType)
+}
+
+// issueDataWrite emits the write half of a writeback/refill: WD+WT for
+// the set-associative design, one combined TAD write for direct-mapped.
+func (d *DCache) issueDataWrite(set int64, way, coreID int, reqType core.RequestType) {
+	if d.geom.Org == SetAssoc {
+		d.enqueue(dram.WriteData, d.geom.DataLoc(set, way, d.mapper), BlockBytes, coreID, reqType, nil)
+		d.enqueue(dram.WriteTag, d.geom.TagLoc(set, d.mapper), BlockBytes, coreID, reqType, nil)
+		return
+	}
+	d.enqueue(dram.WriteTAD, d.geom.TagLoc(set, d.mapper), TADBytes, coreID, reqType, nil)
+}
+
+// WarmRead performs a functional (zero-time) read used during cache
+// warm-up: misses install the block clean, as a refill would, and the
+// MAP-I predictor trains on the outcome.
+func (d *DCache) WarmRead(addr int64, coreID int, pc uint64) {
+	set, way, vw := d.tags.lookupOrVictim(addr)
+	hit := way >= 0
+	if d.mapi != nil {
+		p := d.mapi.PredictMiss(coreID, pc)
+		d.mapi.Update(coreID, pc, p, hit)
+	}
+	if hit {
+		d.tags.touch(set, way)
+		return
+	}
+	d.tags.install(addr, set, vw, false)
+}
+
+// WarmWrite performs a functional writeback: hits become dirty, misses
+// allocate dirty.
+func (d *DCache) WarmWrite(addr int64, coreID int) {
+	set, way, vw := d.tags.lookupOrVictim(addr)
+	if way >= 0 {
+		d.tags.setDirty(set, way)
+		d.tags.touch(set, way)
+		return
+	}
+	d.tags.install(addr, set, vw, true)
+}
+
+// RowSpan returns the contiguous block-address window whose members map
+// to the same DRAM row as addr, used by the Lee DRAM-aware L2 writeback
+// policy to find row-mates.
+func (d *DCache) RowSpan(addr int64) (lo, hi int64) {
+	var span int64
+	if d.geom.Org == SetAssoc {
+		span = saSetsPerRow
+	} else {
+		span = dmTADsPerRow
+	}
+	set := d.geom.SetOf(addr)
+	lo = addr - set%span
+	return lo, lo + span
+}

@@ -1,0 +1,131 @@
+package dcache
+
+// tagStore is the functional (zero-time) tag state of the DRAM cache:
+// which blocks are present, their dirtiness, and LRU order. Timing is
+// charged separately by the access chains; the functional state advances
+// when the corresponding tag accesses complete.
+type tagStore struct {
+	geom Geometry
+	// Flat arrays indexed by set*ways+way. tag is the block tag;
+	// meta packs validity and dirtiness; lru is a per-set stamp.
+	tag  []int64
+	meta []uint8
+	lru  []uint32
+	tick uint32
+}
+
+const (
+	metaValid uint8 = 1 << 0
+	metaDirty uint8 = 1 << 1
+)
+
+func newTagStore(g Geometry) *tagStore {
+	n := g.Sets * int64(g.Ways)
+	return &tagStore{
+		geom: g,
+		tag:  make([]int64, n),
+		meta: make([]uint8, n),
+		lru:  make([]uint32, n),
+	}
+}
+
+func (t *tagStore) idx(set int64, way int) int64 { return set*int64(t.geom.Ways) + int64(way) }
+
+// lookup returns the way holding blockAddr, or -1.
+func (t *tagStore) lookup(blockAddr int64) (set int64, way int) {
+	set = t.geom.SetOf(blockAddr)
+	want := t.geom.TagOf(blockAddr)
+	for w := 0; w < t.geom.Ways; w++ {
+		i := t.idx(set, w)
+		if t.meta[i]&metaValid != 0 && t.tag[i] == want {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// lookupOrVictim combines lookup and victim selection in one way scan
+// for the warm-up fast path: way is -1 on a miss, in which case victim
+// is the way to replace (an invalid way if one exists, else LRU).
+func (t *tagStore) lookupOrVictim(blockAddr int64) (set int64, way, victim int) {
+	set = t.geom.SetOf(blockAddr)
+	want := t.geom.TagOf(blockAddr)
+	base := set * int64(t.geom.Ways)
+	victim = -1
+	invalid := -1
+	var oldest uint32
+	for w := 0; w < t.geom.Ways; w++ {
+		i := base + int64(w)
+		if t.meta[i]&metaValid == 0 {
+			if invalid < 0 {
+				invalid = w
+			}
+			continue
+		}
+		if t.tag[i] == want {
+			return set, w, -1
+		}
+		if victim < 0 || t.lru[i] < oldest {
+			victim, oldest = w, t.lru[i]
+		}
+	}
+	if invalid >= 0 {
+		victim = invalid
+	}
+	return set, -1, victim
+}
+
+// touch updates replacement state for a hit.
+func (t *tagStore) touch(set int64, way int) {
+	t.tick++
+	t.lru[t.idx(set, way)] = t.tick
+}
+
+// dirty returns whether (set, way) holds a dirty block.
+func (t *tagStore) dirty(set int64, way int) bool {
+	return t.meta[t.idx(set, way)]&metaDirty != 0
+}
+
+// setDirty marks (set, way) dirty.
+func (t *tagStore) setDirty(set int64, way int) {
+	t.meta[t.idx(set, way)] |= metaDirty
+}
+
+// victim selects the replacement way in set: an invalid way if one
+// exists, otherwise the LRU way.
+func (t *tagStore) victim(set int64) int {
+	victim, oldest := 0, uint32(0)
+	first := true
+	for w := 0; w < t.geom.Ways; w++ {
+		i := t.idx(set, w)
+		if t.meta[i]&metaValid == 0 {
+			return w
+		}
+		if first || t.lru[i] < oldest {
+			victim, oldest, first = w, t.lru[i], false
+		}
+	}
+	return victim
+}
+
+// victimInfo reports the block currently in (set, way).
+func (t *tagStore) victimInfo(set int64, way int) (blockAddr int64, valid, dirty bool) {
+	i := t.idx(set, way)
+	if t.meta[i]&metaValid == 0 {
+		return 0, false, false
+	}
+	return t.tag[i]*t.geom.Sets + set, true, t.meta[i]&metaDirty != 0
+}
+
+// install places blockAddr into (set, way), replacing the previous
+// occupant, and touches replacement state.
+func (t *tagStore) install(blockAddr int64, set int64, way int, dirty bool) {
+	i := t.idx(set, way)
+	t.tag[i] = t.geom.TagOf(blockAddr)
+	t.meta[i] = metaValid
+	if dirty {
+		t.meta[i] |= metaDirty
+	}
+	t.tick++
+	t.lru[i] = t.tick
+}

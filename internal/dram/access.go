@@ -1,0 +1,61 @@
+package dram
+
+import (
+	"dcasim/internal/addrmap"
+	"dcasim/internal/simtime"
+)
+
+// Kind identifies what a DRAM access moves, mirroring the paper's Fig. 2
+// nomenclature (RT/RD/WT/WD, plus the direct-mapped combined TAD forms).
+type Kind uint8
+
+const (
+	ReadTag   Kind = iota // RT: tag block read
+	ReadData              // RD: data block read
+	WriteTag              // WT: tag block write (replacement-bit update)
+	WriteData             // WD: data block write
+	ReadTAD               // direct-mapped combined tag+data read
+	WriteTAD              // direct-mapped combined tag+data write
+)
+
+// IsWrite reports whether the access drives the bus in write direction.
+func (k Kind) IsWrite() bool { return k == WriteTag || k == WriteData || k == WriteTAD }
+
+// IsTag reports whether the access touches tag state (used by the tag
+// traffic accounting of Fig. 18).
+func (k Kind) IsTag() bool { return k != ReadData && k != WriteData }
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case ReadTag:
+		return "RT"
+	case ReadData:
+		return "RD"
+	case WriteTag:
+		return "WT"
+	case WriteData:
+		return "WD"
+	case ReadTAD:
+		return "RTAD"
+	case WriteTAD:
+		return "WTAD"
+	}
+	return "?"
+}
+
+// Access is a single DRAM array access, the unit the controllers queue and
+// schedule.
+type Access struct {
+	Kind  Kind
+	Loc   addrmap.Loc
+	Bytes int // transfer size: 64 for a block, 72 for a TAD
+
+	// App is the issuing application (core) index, consumed by the BLISS
+	// blacklisting scheduler.
+	App int
+
+	// Done, when non-nil, is invoked by the controller at the access's
+	// data completion time.
+	Done func(now simtime.Time)
+}

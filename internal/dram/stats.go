@@ -1,0 +1,88 @@
+package dram
+
+import "dcasim/internal/simtime"
+
+// Stats aggregates per-channel counters used by the paper's evaluation:
+// row-buffer outcomes for reads (Figs. 16/17), accesses per bus turnaround
+// (Figs. 14/15), and tag-access counts (Fig. 18).
+type Stats struct {
+	Accesses     int64
+	Reads        int64
+	Writes       int64
+	TagAccesses  int64
+	ReadRowHit   int64
+	ReadRowMiss  int64 // closed-row activations
+	ReadRowConf  int64
+	WriteRowHit  int64
+	WriteRowMiss int64
+	WriteRowConf int64
+	Turnarounds  int64
+	BusyTime     simtime.Time // total data-bus occupancy plus stalls charged
+}
+
+func (s *Stats) record(a *Access, state RowState, dir, prev Dir, start, end simtime.Time) {
+	s.Accesses++
+	if a.Kind.IsTag() {
+		s.TagAccesses++
+	}
+	if dir == DirWrite {
+		s.Writes++
+		switch state {
+		case RowHit:
+			s.WriteRowHit++
+		case RowClosed:
+			s.WriteRowMiss++
+		case RowConflict:
+			s.WriteRowConf++
+		}
+	} else {
+		s.Reads++
+		switch state {
+		case RowHit:
+			s.ReadRowHit++
+		case RowClosed:
+			s.ReadRowMiss++
+		case RowConflict:
+			s.ReadRowConf++
+		}
+	}
+	if prev != DirNone && dir != prev {
+		s.Turnarounds++
+	}
+	s.BusyTime += end - start
+}
+
+// Add accumulates other into s, for summing across channels.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.TagAccesses += other.TagAccesses
+	s.ReadRowHit += other.ReadRowHit
+	s.ReadRowMiss += other.ReadRowMiss
+	s.ReadRowConf += other.ReadRowConf
+	s.WriteRowHit += other.WriteRowHit
+	s.WriteRowMiss += other.WriteRowMiss
+	s.WriteRowConf += other.WriteRowConf
+	s.Turnarounds += other.Turnarounds
+	s.BusyTime += other.BusyTime
+}
+
+// ReadRowHitRate returns the fraction of read accesses that hit an open
+// row (the metric of Figs. 16/17). It returns 0 when no reads occurred.
+func (s Stats) ReadRowHitRate() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadRowHit) / float64(s.Reads)
+}
+
+// AccessesPerTurnaround returns total accesses divided by bus turnarounds
+// (the metric of Figs. 14/15). With no turnaround it returns the access
+// count itself.
+func (s Stats) AccessesPerTurnaround() float64 {
+	if s.Turnarounds == 0 {
+		return float64(s.Accesses)
+	}
+	return float64(s.Accesses) / float64(s.Turnarounds)
+}

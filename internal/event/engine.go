@@ -1,0 +1,130 @@
+// Package event implements the discrete-event simulation kernel.
+//
+// The kernel is a binary min-heap of (time, sequence, callback) items.
+// Events scheduled for the same timestamp fire in the order they were
+// scheduled, which makes whole-simulation behaviour exactly reproducible
+// run to run. The kernel is single-threaded by design: determinism of an
+// architectural simulation is worth far more than intra-run parallelism,
+// and the harness instead parallelises across independent simulations.
+package event
+
+import (
+	"fmt"
+
+	"dcasim/internal/simtime"
+)
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now   simtime.Time
+	seq   uint64
+	heap  []item
+	steps uint64
+}
+
+type item struct {
+	at  simtime.Time
+	seq uint64
+	fn  func()
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: silently reordering time would corrupt
+// every downstream model.
+func (e *Engine) At(t simtime.Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("event: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.push(item{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d simtime.Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the earliest pending event. It reports whether an event
+// was executed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	it := e.pop()
+	e.now = it.at
+	e.steps++
+	it.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the
+// clock to t. Events scheduled beyond t stay queued.
+func (e *Engine) RunUntil(t simtime.Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor is RunUntil relative to the current time.
+func (e *Engine) RunFor(d simtime.Time) { e.RunUntil(e.now + d) }
+
+func (e *Engine) less(i, j int) bool {
+	if e.heap[i].at != e.heap[j].at {
+		return e.heap[i].at < e.heap[j].at
+	}
+	return e.heap[i].seq < e.heap[j].seq
+}
+
+func (e *Engine) push(it item) {
+	e.heap = append(e.heap, it)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() item {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n] = item{} // release the closure for GC
+	e.heap = e.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+	return top
+}

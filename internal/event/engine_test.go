@@ -1,0 +1,133 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dcasim/internal/simtime"
+)
+
+func TestOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-timestamp events not FIFO: %v", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var got []simtime.Time
+	e.At(10, func() {
+		got = append(got, e.Now())
+		e.After(5, func() { got = append(got, e.Now()) })
+		e.At(e.Now(), func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	want := []simtime.Time{10, 10, 15}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	fired := 0
+	for _, at := range []simtime.Time{5, 10, 15, 20} {
+		e.At(at, func() { fired++ })
+	}
+	e.RunUntil(12)
+	if fired != 2 {
+		t.Fatalf("fired %d events until t=12, want 2", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now = %v, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", e.Pending())
+	}
+	e.Run()
+	if fired != 4 {
+		t.Fatalf("fired %d total, want 4", fired)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	var e Engine
+	fired := false
+	e.At(100, func() { fired = true })
+	e.RunFor(50)
+	if fired || e.Now() != 50 {
+		t.Fatalf("RunFor(50): fired=%v now=%v", fired, e.Now())
+	}
+	e.RunFor(50)
+	if !fired || e.Now() != 100 {
+		t.Fatalf("RunFor to 100: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestHeapRandomized(t *testing.T) {
+	// Property: events fire in nondecreasing time order regardless of
+	// insertion order, including events inserted while running.
+	rnd := rand.New(rand.NewSource(42))
+	var e Engine
+	var times []simtime.Time
+	record := func() { times = append(times, e.Now()) }
+	for i := 0; i < 500; i++ {
+		at := simtime.Time(rnd.Intn(10_000))
+		e.At(at, func() {
+			record()
+			if rnd.Intn(3) == 0 {
+				e.After(simtime.Time(rnd.Intn(100)), record)
+			}
+		})
+	}
+	e.Run()
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("time went backwards at %d: %v < %v", i, times[i], times[i-1])
+		}
+	}
+	if e.Steps() != uint64(len(times)) {
+		t.Fatalf("Steps() = %d, fired %d", e.Steps(), len(times))
+	}
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"dcasim/internal/config"
+	"dcasim/internal/core"
+	"dcasim/internal/dcache"
+	"dcasim/internal/workload"
+)
+
+func testRunner(t *testing.T, nmix int) *Runner {
+	t.Helper()
+	cfg := config.Test()
+	return NewRunner(cfg, workload.TableI()[:nmix], 2)
+}
+
+func TestTableI(t *testing.T) {
+	tbl := TableI(workload.TableI())
+	out := tbl.String()
+	if !strings.Contains(out, "soplex") || !strings.Contains(out, "GemsFDTD") {
+		t.Fatalf("Table I missing benchmarks:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 32 { // header + separator + 30 rows
+		t.Fatalf("Table I has %d lines, want 32", got)
+	}
+}
+
+func TestTableII(t *testing.T) {
+	out := testRunner(t, 1).TableII().String()
+	for _, want := range []string{"DRAM cache", "read queue", "write queue", "tWTR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8ShapeAndMemoization(t *testing.T) {
+	r := testRunner(t, 2)
+	tbl, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "set-assoc") || !strings.Contains(out, "direct-mapped") {
+		t.Fatalf("Fig8 rows missing:\n%s", out)
+	}
+	runsAfter := len(r.results)
+	// Rerunning must reuse every memoized simulation.
+	if _, err := r.Fig8(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.results) != runsAfter {
+		t.Fatalf("Fig8 rerun launched new simulations: %d -> %d", runsAfter, len(r.results))
+	}
+}
+
+func TestFig8CDBaselineIsOne(t *testing.T) {
+	r := testRunner(t, 2)
+	if err := r.ensure(r.keysFor(dcache.SetAssoc, []bool{false}, false)); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := r.normalizedWS(dcache.SetAssoc, core.CD, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ws {
+		if v != 1.0 {
+			t.Fatalf("CD normalized to itself should be exactly 1.0, mix %d gave %v", i, v)
+		}
+	}
+}
+
+func TestFiguresShareRuns(t *testing.T) {
+	r := testRunner(t, 1)
+	if _, err := r.Fig10(); err != nil { // needs SA, all designs, both remaps
+		t.Fatal(err)
+	}
+	n := len(r.results)
+	for _, f := range []func() (interface{ String() string }, error){} {
+		_ = f
+	}
+	if _, err := r.Fig12(); err != nil { // same runs, different metric
+		t.Fatal(err)
+	}
+	if _, err := r.Fig14(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fig16(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.results) != n {
+		t.Fatalf("figures 12/14/16 did not reuse figure 10's runs: %d -> %d", n, len(r.results))
+	}
+}
+
+func TestFig18RowsPerSize(t *testing.T) {
+	r := testRunner(t, 1)
+	tbl, err := r.Fig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, kb := range Fig18Sizes {
+		if !strings.Contains(out, "KB") {
+			t.Fatalf("Fig18 missing %dKB row:\n%s", kb, out)
+		}
+	}
+}
+
+func TestFig19Runs(t *testing.T) {
+	r := testRunner(t, 1)
+	tbl, err := r.Fig19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "LEE+DCA") {
+		t.Fatalf("Fig19 missing LEE+DCA row:\n%s", tbl)
+	}
+}
+
+func TestAloneIPCMemoized(t *testing.T) {
+	r := testRunner(t, 1)
+	if err := r.ensureAlone(dcache.SetAssoc); err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.alone)
+	if n == 0 {
+		t.Fatal("no alone IPCs computed")
+	}
+	if err := r.ensureAlone(dcache.SetAssoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.alone) != n {
+		t.Fatal("ensureAlone recomputed cached entries")
+	}
+}

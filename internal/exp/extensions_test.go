@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"dcasim/internal/simtime"
+)
+
+func TestTWTRKeySharesBaseline(t *testing.T) {
+	if twtrKey(simtime.FromNS(5)) != 0 {
+		t.Fatal("the Table II tWTR must map to the baseline key for run reuse")
+	}
+	if twtrKey(simtime.FromNS(10)) == 0 {
+		t.Fatal("non-default tWTR must get its own key")
+	}
+}
+
+func TestTWTRSweep(t *testing.T) {
+	r := testRunner(t, 1)
+	tbl, err := r.TWTRSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"2.5ns", "5ns", "10ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TWTR sweep missing %s row:\n%s", want, out)
+		}
+	}
+}
+
+func TestSchedulerStudy(t *testing.T) {
+	r := testRunner(t, 1)
+	tbl, err := r.SchedulerStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"BLISS", "FR-FCFS", "FCFS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scheduler study missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestBEARStudy(t *testing.T) {
+	r := testRunner(t, 1)
+	tbl, err := r.BEARStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "BEAR+DCA") {
+		t.Fatalf("BEAR study missing rows:\n%s", tbl)
+	}
+}

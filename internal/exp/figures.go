@@ -1,0 +1,319 @@
+package exp
+
+import (
+	"fmt"
+
+	"dcasim/internal/core"
+	"dcasim/internal/dcache"
+	"dcasim/internal/stats"
+	"dcasim/internal/workload"
+)
+
+var designs = []core.Design{core.CD, core.ROD, core.DCA}
+var orgs = []dcache.Org{dcache.SetAssoc, dcache.DirectMapped}
+
+// keysFor enumerates the runs needed for an organization across designs,
+// with and without remapping as requested.
+func (r *Runner) keysFor(org dcache.Org, remaps []bool, lee bool) []runKey {
+	var keys []runKey
+	for _, m := range r.mixes {
+		for _, d := range designs {
+			for _, rm := range remaps {
+				keys = append(keys, runKey{mixID: m.ID, org: org, design: d, remap: rm, lee: lee})
+			}
+		}
+	}
+	return keys
+}
+
+// normalizedWS returns, per mix, the weighted speedup of (design, remap)
+// normalized to CD without remapping — the paper's normalization for
+// Figs. 8–11.
+func (r *Runner) normalizedWS(org dcache.Org, design core.Design, remap, lee bool) ([]float64, error) {
+	var out []float64
+	for _, m := range r.mixes {
+		k := runKey{mixID: m.ID, org: org, design: design, remap: remap, lee: lee}
+		base := runKey{mixID: m.ID, org: org, design: core.CD, lee: lee}
+		ws, err := r.weightedSpeedup(k)
+		if err != nil {
+			return nil, err
+		}
+		wsBase, err := r.weightedSpeedup(base)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ws/wsBase)
+	}
+	return out, nil
+}
+
+// Fig8 reproduces the average normalized weighted speedup of CD, ROD, and
+// DCA for both organizations (no remapping), normalized to CD.
+func (r *Runner) Fig8() (*stats.Table, error) {
+	t := stats.NewTable("org", "CD", "ROD", "DCA")
+	for _, org := range orgs {
+		if err := r.ensure(r.keysFor(org, []bool{false}, false)); err != nil {
+			return nil, err
+		}
+		if err := r.ensureAlone(org); err != nil {
+			return nil, err
+		}
+		row := []interface{}{org.String()}
+		for _, d := range designs {
+			ws, err := r.normalizedWS(org, d, false, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.GeoMean(ws))
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces the average speedups with the XOR remapping scheme,
+// still normalized to CD without remapping.
+func (r *Runner) Fig9() (*stats.Table, error) {
+	t := stats.NewTable("org", "XOR+CD", "XOR+ROD", "XOR+DCA")
+	for _, org := range orgs {
+		if err := r.ensure(r.keysFor(org, []bool{false, true}, false)); err != nil {
+			return nil, err
+		}
+		if err := r.ensureAlone(org); err != nil {
+			return nil, err
+		}
+		row := []interface{}{org.String()}
+		for _, d := range designs {
+			ws, err := r.normalizedWS(org, d, true, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.GeoMean(ws))
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
+}
+
+// perWorkload builds the per-mix speedup table of Figs. 10 (SA) and 11
+// (DM): all six designs normalized to CD without remapping.
+func (r *Runner) perWorkload(org dcache.Org) (*stats.Table, error) {
+	if err := r.ensure(r.keysFor(org, []bool{false, true}, false)); err != nil {
+		return nil, err
+	}
+	if err := r.ensureAlone(org); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("mix", "CD", "ROD", "DCA", "XOR+CD", "XOR+ROD", "XOR+DCA")
+	series := make(map[string][]float64)
+	for _, rm := range []bool{false, true} {
+		for _, d := range designs {
+			name := d.String()
+			if rm {
+				name = "XOR+" + name
+			}
+			ws, err := r.normalizedWS(org, d, rm, false)
+			if err != nil {
+				return nil, err
+			}
+			series[name] = ws
+		}
+	}
+	for i, m := range r.mixes {
+		t.AddRowf(fmt.Sprintf("%d(%s)", m.ID, m.Benchmarks[0]),
+			series["CD"][i], series["ROD"][i], series["DCA"][i],
+			series["XOR+CD"][i], series["XOR+ROD"][i], series["XOR+DCA"][i])
+	}
+	t.AddRowf("gmean",
+		stats.GeoMean(series["CD"]), stats.GeoMean(series["ROD"]), stats.GeoMean(series["DCA"]),
+		stats.GeoMean(series["XOR+CD"]), stats.GeoMean(series["XOR+ROD"]), stats.GeoMean(series["XOR+DCA"]))
+	return t, nil
+}
+
+// Fig10 is the per-workload speedup table for the set-associative cache.
+func (r *Runner) Fig10() (*stats.Table, error) { return r.perWorkload(dcache.SetAssoc) }
+
+// Fig11 is the per-workload speedup table for the direct-mapped cache.
+func (r *Runner) Fig11() (*stats.Table, error) { return r.perWorkload(dcache.DirectMapped) }
+
+// missLatency builds the L2-miss-latency improvement table of Figs. 12
+// (SA) and 13 (DM): mean improvement over CD-without-remapping, in
+// percent (higher is better).
+func (r *Runner) missLatency(org dcache.Org) (*stats.Table, error) {
+	if err := r.ensure(r.keysFor(org, []bool{false, true}, false)); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("design", "L2 miss latency improvement (%)")
+	base := make([]float64, len(r.mixes))
+	for i, m := range r.mixes {
+		base[i] = r.result(runKey{mixID: m.ID, org: org, design: core.CD}).L2MissLatencyNS
+	}
+	for _, rm := range []bool{false, true} {
+		for _, d := range designs {
+			name := d.String()
+			if rm {
+				name = "XOR+" + name
+			}
+			var imps []float64
+			for i, m := range r.mixes {
+				lat := r.result(runKey{mixID: m.ID, org: org, design: d, remap: rm}).L2MissLatencyNS
+				imps = append(imps, 100*(base[i]-lat)/base[i])
+			}
+			t.AddRowf(name, stats.Mean(imps))
+		}
+	}
+	return t, nil
+}
+
+// Fig12 is the set-associative L2 miss latency improvement.
+func (r *Runner) Fig12() (*stats.Table, error) { return r.missLatency(dcache.SetAssoc) }
+
+// Fig13 is the direct-mapped L2 miss latency improvement.
+func (r *Runner) Fig13() (*stats.Table, error) { return r.missLatency(dcache.DirectMapped) }
+
+// turnarounds builds the accesses-per-turnaround table of Figs. 14/15
+// (no remapping — the paper observes remapping does not change it).
+func (r *Runner) turnarounds(org dcache.Org) (*stats.Table, error) {
+	if err := r.ensure(r.keysFor(org, []bool{false}, false)); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("design", "accesses per turnaround")
+	for _, d := range designs {
+		var vals []float64
+		for _, m := range r.mixes {
+			vals = append(vals, r.result(runKey{mixID: m.ID, org: org, design: d}).AccessesPerTurnaround())
+		}
+		t.AddRowf(d.String(), stats.Mean(vals))
+	}
+	return t, nil
+}
+
+// Fig14 is accesses per turnaround, set-associative.
+func (r *Runner) Fig14() (*stats.Table, error) { return r.turnarounds(dcache.SetAssoc) }
+
+// Fig15 is accesses per turnaround, direct-mapped.
+func (r *Runner) Fig15() (*stats.Table, error) { return r.turnarounds(dcache.DirectMapped) }
+
+// rowHits builds the read row-buffer hit-rate table of Figs. 16/17.
+func (r *Runner) rowHits(org dcache.Org) (*stats.Table, error) {
+	if err := r.ensure(r.keysFor(org, []bool{false, true}, false)); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("design", "row buffer hit rate")
+	for _, rm := range []bool{false, true} {
+		for _, d := range designs {
+			name := d.String()
+			if rm {
+				name = "XOR+" + name
+			}
+			var vals []float64
+			for _, m := range r.mixes {
+				vals = append(vals, r.result(runKey{mixID: m.ID, org: org, design: d, remap: rm}).ReadRowHitRate())
+			}
+			t.AddRowf(name, stats.Mean(vals))
+		}
+	}
+	return t, nil
+}
+
+// Fig16 is the read row-buffer hit rate, set-associative.
+func (r *Runner) Fig16() (*stats.Table, error) { return r.rowHits(dcache.SetAssoc) }
+
+// Fig17 is the read row-buffer hit rate, direct-mapped.
+func (r *Runner) Fig17() (*stats.Table, error) { return r.rowHits(dcache.DirectMapped) }
+
+// Fig18Sizes are the SRAM tag-cache capacities swept by Fig. 18.
+var Fig18Sizes = []int{64, 128, 192, 256, 384, 512}
+
+// Fig18 reproduces the tag-cache study: DRAM tag accesses for various
+// tag-cache sizes on the set-associative organization, normalized to the
+// no-tag-cache baseline. The paper's observation is that a small tag
+// cache *increases* DRAM tag traffic (≈2× at 192 KB) because tag blocks
+// have little temporal locality and the row-granular prefetch multiplies
+// fetches.
+func (r *Runner) Fig18() (*stats.Table, error) {
+	org := dcache.SetAssoc
+	var keys []runKey
+	for _, m := range r.mixes {
+		keys = append(keys, runKey{mixID: m.ID, org: org, design: core.CD})
+		for _, kb := range Fig18Sizes {
+			keys = append(keys, runKey{mixID: m.ID, org: org, design: core.CD, tagKB: kb})
+		}
+	}
+	if err := r.ensure(keys); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("tag cache", "normalized DRAM tag accesses", "tag cache hit rate")
+	for _, kb := range Fig18Sizes {
+		var ratios, hitRates []float64
+		for _, m := range r.mixes {
+			base := r.result(runKey{mixID: m.ID, org: org, design: core.CD})
+			with := r.result(runKey{mixID: m.ID, org: org, design: core.CD, tagKB: kb})
+			if base.DRAMTagAccesses > 0 {
+				ratios = append(ratios, float64(with.DRAMTagAccesses)/float64(base.DRAMTagAccesses))
+			}
+			if with.TagCacheLookups > 0 {
+				hitRates = append(hitRates, float64(with.TagCacheHits)/float64(with.TagCacheLookups))
+			}
+		}
+		t.AddRowf(fmt.Sprintf("%dKB", kb), stats.Mean(ratios), stats.Mean(hitRates))
+	}
+	return t, nil
+}
+
+// Fig19 reproduces the Lee DRAM-aware writeback study on the
+// direct-mapped organization: CD, ROD, and DCA with the Lee policy
+// enabled in the L2, normalized to CD+LEE. The paper reports DCA
+// continuing to outperform CD by ≈7 % under this policy.
+func (r *Runner) Fig19() (*stats.Table, error) {
+	org := dcache.DirectMapped
+	if err := r.ensure(r.keysFor(org, []bool{false}, true)); err != nil {
+		return nil, err
+	}
+	if err := r.ensureAlone(org); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("design", "speedup vs LEE+CD")
+	for _, d := range designs {
+		ws, err := r.normalizedWS(org, d, false, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf("LEE+"+d.String(), stats.GeoMean(ws))
+	}
+	return t, nil
+}
+
+// TableI renders the workload groupings.
+func TableI(mixes []workload.Mix) *stats.Table {
+	t := stats.NewTable("mix", "core0", "core1", "core2", "core3")
+	for _, m := range mixes {
+		t.AddRowf(m.ID, m.Benchmarks[0], m.Benchmarks[1], m.Benchmarks[2], m.Benchmarks[3])
+	}
+	return t
+}
+
+// TableII renders the system parameters of a configuration.
+func (r *Runner) TableII() *stats.Table {
+	c := r.base
+	t := stats.NewTable("parameter", "value")
+	t.AddRowf("processor", fmt.Sprintf("%.0f GHz, %d-wide, %d ROB entries, %d MSHRs",
+		c.CPU.FreqGHz, c.CPU.Width, c.CPU.ROB, c.CPU.MSHRs))
+	t.AddRowf("L1", fmt.Sprintf("%d KB / %d-way", c.L1Bytes>>10, c.L1Ways))
+	t.AddRowf("L2", fmt.Sprintf("%d MB / %d-way, %v hit", c.L2Bytes>>20, c.L2Ways, c.L2HitLat))
+	t.AddRowf("DRAM cache", fmt.Sprintf("%d MB, %d channels x %d banks, %d B rows",
+		c.CacheSizeBytes>>20, c.Channels, c.Banks, c.RowBytes))
+	t.AddRowf("timing", fmt.Sprintf("tRCD/tCAS/tRP/tRAS %v/%v/%v/%v",
+		c.Timing.TRCD, c.Timing.TCAS, c.Timing.TRP, c.Timing.TRAS))
+	t.AddRowf("turnaround", fmt.Sprintf("tWTR %v, tRTW %v, tWR %v, tBURST %v",
+		c.Timing.TWTR, c.Timing.TRTW, c.Timing.TWR, c.Timing.TBurst))
+	t.AddRowf("main memory", fmt.Sprintf("%v latency, %v per block",
+		c.MainMem.Latency, c.MainMem.BlockTime))
+	cc := c.CtrlConfig()
+	t.AddRowf("read queue", fmt.Sprintf("%d entries", cc.ReadQueueCap))
+	t.AddRowf("write queue", fmt.Sprintf("%d entries, flush %.0f%%/%.0f%%",
+		cc.WriteQueueCap, 100*cc.WriteFlushLow, 100*cc.WriteFlushHigh))
+	t.AddRowf("run", fmt.Sprintf("%d instr/core, %d warm memops/core, WS x%.2f",
+		c.InstrPerCore, c.WarmMemops, c.WSScale))
+	return t
+}

@@ -1,0 +1,251 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (§V–§VI). Each driver returns a stats.Table whose rows carry
+// the same quantities the paper plots, so `cmd/experiments` (or the
+// bench harness) regenerates the full evaluation.
+//
+// Simulation results are memoized by configuration key and computed by a
+// bounded worker pool: the figures share most of their underlying runs
+// (e.g. Figs. 8, 10, 12, 14, and 16 all consume the same set-associative
+// sweeps), so the whole evaluation costs one pass over the distinct
+// configurations, parallelised across CPUs.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dcasim/internal/config"
+	"dcasim/internal/core"
+	"dcasim/internal/dcache"
+	"dcasim/internal/sim"
+	"dcasim/internal/simtime"
+	"dcasim/internal/stats"
+	"dcasim/internal/workload"
+)
+
+// Runner memoizes simulation runs for the experiment drivers.
+type Runner struct {
+	base    config.Config
+	mixes   []workload.Mix
+	workers int
+
+	mu      sync.Mutex
+	results map[runKey]sim.Result
+	errs    map[runKey]error
+	alone   map[aloneKey]float64
+}
+
+type runKey struct {
+	mixID  int
+	org    dcache.Org
+	design core.Design
+	remap  bool
+	lee    bool
+	tagKB  int
+	// Extension-study dimensions (zero values = paper baseline).
+	twtrPS int64          // tWTR override in picoseconds; 0 = Table II
+	alg    core.Algorithm // base scheduling algorithm
+	bear   bool           // BEAR writeback-probe elision
+}
+
+type aloneKey struct {
+	bench string
+	org   dcache.Org
+}
+
+// NewRunner builds a runner over a base config and workload mixes.
+// workers <= 0 selects GOMAXPROCS.
+func NewRunner(base config.Config, mixes []workload.Mix, workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		base:    base,
+		mixes:   mixes,
+		workers: workers,
+		results: make(map[runKey]sim.Result),
+		errs:    make(map[runKey]error),
+		alone:   make(map[aloneKey]float64),
+	}
+}
+
+// Mixes returns the workload mixes under evaluation.
+func (r *Runner) Mixes() []workload.Mix { return r.mixes }
+
+// BaseConfig returns a copy of the base configuration.
+func (r *Runner) BaseConfig() config.Config { return r.base }
+
+func (r *Runner) configFor(k runKey) (config.Config, error) {
+	cfg := r.base
+	cfg.Org = k.org
+	cfg.Design = k.design
+	cfg.XORRemap = k.remap
+	cfg.LeeWriteback = k.lee
+	cfg.TagCacheKB = k.tagKB
+	cfg.Algorithm = k.alg
+	cfg.BEARProbe = k.bear
+	if k.twtrPS > 0 {
+		cfg.Timing.TWTR = simtime.Time(k.twtrPS)
+	}
+	cfg.Seed = r.base.Seed + uint64(k.mixID)*1_000_003
+	for _, m := range r.mixes {
+		if m.ID == k.mixID {
+			cfg.Benchmarks = m.Benchmarks[:]
+			return cfg, nil
+		}
+	}
+	return cfg, fmt.Errorf("exp: unknown mix id %d", k.mixID)
+}
+
+// ensure computes every missing key, bounded-parallel across runs.
+func (r *Runner) ensure(keys []runKey) error {
+	var missing []runKey
+	r.mu.Lock()
+	seen := make(map[runKey]bool)
+	for _, k := range keys {
+		if _, ok := r.results[k]; ok || r.errs[k] != nil || seen[k] {
+			continue
+		}
+		seen[k] = true
+		missing = append(missing, k)
+	}
+	r.mu.Unlock()
+	if len(missing) == 0 {
+		return r.firstErr(keys)
+	}
+
+	sem := make(chan struct{}, r.workers)
+	var wg sync.WaitGroup
+	for _, k := range missing {
+		wg.Add(1)
+		go func(k runKey) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg, err := r.configFor(k)
+			var res sim.Result
+			if err == nil {
+				res, err = sim.Run(cfg)
+			}
+			r.mu.Lock()
+			if err != nil {
+				r.errs[k] = err
+			} else {
+				r.results[k] = res
+			}
+			r.mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+	return r.firstErr(keys)
+}
+
+func (r *Runner) firstErr(keys []runKey) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range keys {
+		if err := r.errs[k]; err != nil {
+			return fmt.Errorf("exp: run %+v: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// result returns a memoized run (ensure must have succeeded for the key).
+func (r *Runner) result(k runKey) sim.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.results[k]
+	if !ok {
+		panic(fmt.Sprintf("exp: result %+v not computed", k))
+	}
+	return res
+}
+
+// aloneIPCs returns per-core alone IPCs for a mix under an organization,
+// computing and memoizing per-benchmark alone runs on demand.
+func (r *Runner) aloneIPCs(mix workload.Mix, org dcache.Org) ([]float64, error) {
+	out := make([]float64, len(mix.Benchmarks))
+	for i, b := range mix.Benchmarks {
+		k := aloneKey{bench: b, org: org}
+		r.mu.Lock()
+		ipc, ok := r.alone[k]
+		r.mu.Unlock()
+		if !ok {
+			cfg := r.base
+			cfg.Org = org
+			var err error
+			ipc, err = sim.AloneIPC(cfg, b)
+			if err != nil {
+				return nil, err
+			}
+			r.mu.Lock()
+			r.alone[k] = ipc
+			r.mu.Unlock()
+		}
+		out[i] = ipc
+	}
+	return out, nil
+}
+
+// ensureAlone precomputes alone IPCs for every benchmark of the mixes in
+// parallel.
+func (r *Runner) ensureAlone(org dcache.Org) error {
+	benches := map[string]bool{}
+	for _, m := range r.mixes {
+		for _, b := range m.Benchmarks {
+			benches[b] = true
+		}
+	}
+	sem := make(chan struct{}, r.workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for b := range benches {
+		k := aloneKey{bench: b, org: org}
+		r.mu.Lock()
+		_, ok := r.alone[k]
+		r.mu.Unlock()
+		if ok {
+			continue
+		}
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := r.base
+			cfg.Org = org
+			ipc, err := sim.AloneIPC(cfg, b)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			r.mu.Lock()
+			r.alone[aloneKey{bench: b, org: org}] = ipc
+			r.mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// weightedSpeedup computes the weighted speedup of a memoized run.
+func (r *Runner) weightedSpeedup(k runKey) (float64, error) {
+	var mix workload.Mix
+	for _, m := range r.mixes {
+		if m.ID == k.mixID {
+			mix = m
+		}
+	}
+	alone, err := r.aloneIPCs(mix, k.org)
+	if err != nil {
+		return 0, err
+	}
+	return stats.WeightedSpeedup(r.result(k).IPC, alone), nil
+}

@@ -1,0 +1,68 @@
+package mainmem
+
+import (
+	"testing"
+
+	"dcasim/internal/event"
+	"dcasim/internal/simtime"
+)
+
+func TestReadLatency(t *testing.T) {
+	eng := &event.Engine{}
+	m := New(eng, DefaultConfig())
+	var done simtime.Time
+	m.Read(func(now simtime.Time) { done = now })
+	eng.Run()
+	if done != 50*simtime.Nanosecond {
+		t.Fatalf("read completed at %v, want 50ns", done)
+	}
+}
+
+func TestBusSerialization(t *testing.T) {
+	eng := &event.Engine{}
+	cfg := DefaultConfig()
+	m := New(eng, cfg)
+	var done []simtime.Time
+	for i := 0; i < 3; i++ {
+		m.Read(func(now simtime.Time) { done = append(done, now) })
+	}
+	eng.Run()
+	if len(done) != 3 {
+		t.Fatalf("%d reads completed, want 3", len(done))
+	}
+	for i, want := range []simtime.Time{
+		cfg.Latency,
+		cfg.BlockTime + cfg.Latency,
+		2*cfg.BlockTime + cfg.Latency,
+	} {
+		if done[i] != want {
+			t.Fatalf("read %d completed at %v, want %v", i, done[i], want)
+		}
+	}
+}
+
+func TestWritesConsumeBandwidth(t *testing.T) {
+	eng := &event.Engine{}
+	cfg := DefaultConfig()
+	m := New(eng, cfg)
+	m.Write()
+	var done simtime.Time
+	m.Read(func(now simtime.Time) { done = now })
+	eng.Run()
+	if done != cfg.BlockTime+cfg.Latency {
+		t.Fatalf("read after write completed at %v, want %v", done, cfg.BlockTime+cfg.Latency)
+	}
+	if m.Reads != 1 || m.Writes != 1 {
+		t.Fatalf("counters reads=%d writes=%d", m.Reads, m.Writes)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	eng := &event.Engine{}
+	m := New(eng, DefaultConfig())
+	m.Write()
+	m.ResetStats()
+	if m.Reads != 0 || m.Writes != 0 || m.BusyTime != 0 {
+		t.Fatal("ResetStats left counters")
+	}
+}

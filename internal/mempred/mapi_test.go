@@ -1,0 +1,76 @@
+package mempred
+
+import "testing"
+
+func TestInitiallyPredictsHit(t *testing.T) {
+	m := New(1)
+	if m.PredictMiss(0, 0x400) {
+		t.Fatal("untrained predictor must not flood memory with speculative fetches")
+	}
+}
+
+func TestTrainsTowardMiss(t *testing.T) {
+	m := New(1)
+	pc := uint64(0x1234)
+	for i := 0; i < 5; i++ {
+		p := m.PredictMiss(0, pc)
+		m.Update(0, pc, p, false) // misses
+	}
+	if !m.PredictMiss(0, pc) {
+		t.Fatal("predictor did not learn a missing PC")
+	}
+}
+
+func TestTrainsBackTowardHit(t *testing.T) {
+	m := New(1)
+	pc := uint64(0x1234)
+	for i := 0; i < 7; i++ {
+		m.Update(0, pc, true, false)
+	}
+	for i := 0; i < 7; i++ {
+		m.Update(0, pc, true, true)
+	}
+	if m.PredictMiss(0, pc) {
+		t.Fatal("predictor did not recover after a hitting phase")
+	}
+}
+
+func TestPerCoreIsolation(t *testing.T) {
+	m := New(2)
+	pc := uint64(0xbeef)
+	for i := 0; i < 7; i++ {
+		m.Update(0, pc, true, false)
+	}
+	if m.PredictMiss(1, pc) {
+		t.Fatal("training on core 0 leaked into core 1")
+	}
+}
+
+func TestAccuracyCounters(t *testing.T) {
+	m := New(1)
+	m.Update(0, 1, true, false)  // correct miss
+	m.Update(0, 1, true, true)   // false miss
+	m.Update(0, 1, false, false) // missed miss
+	m.Update(0, 1, false, true)  // correct hit
+	if m.CorrectMiss != 1 || m.FalseMiss != 1 || m.MissedMiss != 1 || m.CorrectHit != 1 {
+		t.Fatalf("accuracy counters wrong: %+v", m)
+	}
+}
+
+func TestDistinctPCsTrainIndependently(t *testing.T) {
+	m := New(1)
+	missPC, hitPC := uint64(0x100), uint64(0x200)
+	if index(missPC) == index(hitPC) {
+		t.Skip("hash collision between the chosen PCs")
+	}
+	for i := 0; i < 7; i++ {
+		m.Update(0, missPC, false, false)
+		m.Update(0, hitPC, false, true)
+	}
+	if !m.PredictMiss(0, missPC) {
+		t.Error("missing PC predicted to hit")
+	}
+	if m.PredictMiss(0, hitPC) {
+		t.Error("hitting PC predicted to miss")
+	}
+}

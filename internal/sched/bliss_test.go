@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"testing"
+
+	"dcasim/internal/simtime"
+)
+
+func TestBlacklistAfterStreak(t *testing.T) {
+	b := NewBLISS(4)
+	for i := 0; i < DefaultThreshold-1; i++ {
+		b.OnServed(0, 1)
+		if b.Blacklisted(0, 1) {
+			t.Fatalf("blacklisted after only %d consecutive services", i+1)
+		}
+	}
+	b.OnServed(0, 1)
+	if !b.Blacklisted(0, 1) {
+		t.Fatal("not blacklisted after reaching the threshold streak")
+	}
+	if b.Blacklisted(0, 0) || b.Blacklisted(0, 2) {
+		t.Fatal("other applications must not be blacklisted")
+	}
+}
+
+func TestStreakResetOnInterleave(t *testing.T) {
+	b := NewBLISS(2)
+	for i := 0; i < 10; i++ {
+		b.OnServed(0, 0)
+		b.OnServed(0, 1)
+	}
+	if b.Blacklisted(0, 0) || b.Blacklisted(0, 1) {
+		t.Fatal("interleaved applications must never be blacklisted")
+	}
+}
+
+func TestPeriodicClearing(t *testing.T) {
+	b := NewBLISS(2)
+	for i := 0; i < DefaultThreshold; i++ {
+		b.OnServed(0, 0)
+	}
+	if !b.Blacklisted(0, 0) {
+		t.Fatal("setup: app 0 should be blacklisted")
+	}
+	if !b.Blacklisted(DefaultClearInterval-1, 0) {
+		t.Fatal("blacklist cleared before the interval elapsed")
+	}
+	if b.Blacklisted(DefaultClearInterval+1, 0) {
+		t.Fatal("blacklist not cleared after the interval")
+	}
+}
+
+func TestOutOfRangeAppIgnored(t *testing.T) {
+	b := NewBLISS(2)
+	b.OnServed(0, 7)  // must not panic
+	b.OnServed(0, -1) // must not panic
+	if b.Blacklisted(0, 7) || b.Blacklisted(0, -1) {
+		t.Fatal("out-of-range apps reported blacklisted")
+	}
+}
+
+func TestCustomThreshold(t *testing.T) {
+	b := NewBLISS(1)
+	b.Threshold = 2
+	b.ClearInterval = simtime.Time(1000)
+	b.OnServed(0, 0)
+	b.OnServed(0, 0)
+	if !b.Blacklisted(0, 0) {
+		t.Fatal("custom threshold not honoured")
+	}
+}

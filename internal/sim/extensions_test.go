@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"dcasim/internal/config"
+	"dcasim/internal/core"
+	"dcasim/internal/dcache"
+	"dcasim/internal/simtime"
+)
+
+// TestBEARElidesProbes: the ideal writeback-probe filter must remove a
+// substantial fraction of writeback tag reads on a hit-heavy mix.
+func TestBEARElidesProbes(t *testing.T) {
+	cfg := config.Test()
+	cfg.Benchmarks = []string{"gcc", "soplex", "gcc", "soplex"}
+	cfg.Org = dcache.DirectMapped
+	cfg.BEARProbe = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DCache.BEARElided == 0 {
+		t.Fatal("BEAR filter elided no probes")
+	}
+	if res.DCache.BEARElided > res.DCache.WritebackReqs {
+		t.Fatalf("elided %d probes from %d writebacks", res.DCache.BEARElided, res.DCache.WritebackReqs)
+	}
+}
+
+// TestBEARReducesTagTraffic: with the probe filter, DRAM reads shrink
+// for the same work.
+func TestBEARReducesTagTraffic(t *testing.T) {
+	cfg := config.Test()
+	cfg.Benchmarks = []string{"gcc", "soplex", "gcc", "soplex"}
+	cfg.Org = dcache.DirectMapped
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BEARProbe = true
+	bear, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bear.DRAM.Reads >= plain.DRAM.Reads {
+		t.Fatalf("BEAR did not reduce DRAM reads: %d vs %d", bear.DRAM.Reads, plain.DRAM.Reads)
+	}
+}
+
+// TestSchedulerAlgorithms: every base algorithm completes and FCFS
+// (which ignores row locality) must not beat BLISS on row-buffer hits.
+func TestSchedulerAlgorithms(t *testing.T) {
+	rowHit := map[core.Algorithm]float64{}
+	for _, alg := range []core.Algorithm{core.AlgBLISS, core.AlgFRFCFS, core.AlgFCFS} {
+		cfg := config.Test()
+		cfg.Benchmarks = []string{"lbm", "mcf", "leslie3d", "omnetpp"}
+		cfg.Algorithm = alg
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		rowHit[alg] = res.ReadRowHitRate()
+	}
+	if rowHit[core.AlgFCFS] > rowHit[core.AlgBLISS]+0.02 {
+		t.Fatalf("FCFS row-hit rate %.3f above BLISS %.3f — row-hit-first priority not working",
+			rowHit[core.AlgFCFS], rowHit[core.AlgBLISS])
+	}
+}
+
+// TestTWTRHurtsROD: doubling the write-to-read turnaround must hurt a
+// design that pays a turnaround every few accesses (ROD) more than one
+// that batches directions (DCA) — the paper's §V argument.
+func TestTWTRHurtsROD(t *testing.T) {
+	total := func(d core.Design, twtrNS float64) float64 {
+		cfg := config.Test()
+		cfg.Benchmarks = []string{"lbm", "mcf", "leslie3d", "omnetpp"}
+		cfg.Org = dcache.DirectMapped
+		cfg.Design = d
+		cfg.Timing.TWTR = simtime.FromNS(twtrNS)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalNS()
+	}
+	rodSlowdown := total(core.ROD, 10) / total(core.ROD, 2.5)
+	dcaSlowdown := total(core.DCA, 10) / total(core.DCA, 2.5)
+	if rodSlowdown < dcaSlowdown {
+		t.Fatalf("tWTR 2.5->10ns slowed ROD by %.3fx but DCA by %.3fx; ROD should suffer more",
+			rodSlowdown, dcaSlowdown)
+	}
+}

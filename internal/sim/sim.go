@@ -1,0 +1,183 @@
+// Package sim assembles a complete system from a config — cores, L1s,
+// the shared L2, the DRAM cache with its per-channel controllers, and
+// main memory — performs functional warm-up, runs the timed region, and
+// collects every statistic the experiments consume.
+package sim
+
+import (
+	"fmt"
+
+	"dcasim/internal/cache"
+	"dcasim/internal/config"
+	"dcasim/internal/core"
+	"dcasim/internal/cpu"
+	"dcasim/internal/dcache"
+	"dcasim/internal/dram"
+	"dcasim/internal/event"
+	"dcasim/internal/mainmem"
+	"dcasim/internal/simtime"
+	"dcasim/internal/tagcache"
+	"dcasim/internal/workload"
+)
+
+// Result collects the outputs of one simulation run.
+type Result struct {
+	Benchmarks []string
+	IPC        []float64
+	FinishNS   []float64
+
+	DCache dcache.Stats
+	DRAM   dram.Stats
+	Ctrl   core.Stats
+
+	L2MissLatencyNS float64
+	L2MissRate      float64
+	L2Writebacks    int64
+	LeeEager        int64
+
+	TagCacheLookups int64
+	TagCacheHits    int64
+	DRAMTagAccesses int64
+
+	MainMemReads  int64
+	MainMemWrites int64
+}
+
+// Run executes one simulation and returns its results.
+func Run(cfg config.Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	eng := &event.Engine{}
+	mem := mainmem.New(eng, cfg.MainMem)
+
+	dcCfg := dcache.Config{
+		Org:       cfg.Org,
+		SizeBytes: cfg.CacheSizeBytes,
+		DRAM:      cfg.DRAMGeometry(),
+		Timing:    cfg.Timing,
+		XORRemap:  cfg.XORRemap,
+		Ctrl:      cfg.CtrlConfig(),
+		UseMAPI:   cfg.UseMAPI,
+		BEARProbe: cfg.BEARProbe,
+		Cores:     len(cfg.Benchmarks),
+	}
+	if cfg.TagCacheKB > 0 {
+		tc := tagcache.DefaultConfig(cfg.TagCacheKB << 10)
+		dcCfg.TagCache = &tc
+	}
+	dc, err := dcache.New(eng, dcCfg, mem)
+	if err != nil {
+		return Result{}, err
+	}
+
+	l2arr, err := cache.New(cfg.L2Bytes, dcache.BlockBytes, cfg.L2Ways)
+	if err != nil {
+		return Result{}, err
+	}
+	l2 := cpu.NewL2(eng, l2arr, dc, cfg.L2HitLat, cfg.LeeWriteback)
+
+	cores := make([]*cpu.Core, len(cfg.Benchmarks))
+	for i, bench := range cfg.Benchmarks {
+		prof, err := workload.Lookup(bench)
+		if err != nil {
+			return Result{}, err
+		}
+		gen := workload.NewGen(prof, cfg.Seed*1000003+uint64(i)*7919, int64(i)<<40, cfg.WSScale)
+		l1, err := cache.New(cfg.L1Bytes, dcache.BlockBytes, cfg.L1Ways)
+		if err != nil {
+			return Result{}, err
+		}
+		cores[i] = cpu.NewCore(eng, i, cfg.CPU, gen, l1, l2)
+	}
+
+	// Functional warm-up: interleave the cores in rounds so shared L2 and
+	// DRAM-cache state see the multiprogrammed interleaving, then clear
+	// all statistics.
+	const warmRound = 1024
+	for done := int64(0); done < cfg.WarmMemops; done += warmRound {
+		n := warmRound
+		if cfg.WarmMemops-done < int64(n) {
+			n = int(cfg.WarmMemops - done)
+		}
+		for _, c := range cores {
+			c.Warm(int64(n))
+		}
+	}
+	dc.ResetStats()
+	l2.ResetStats()
+	mem.ResetStats()
+
+	// Timed region: run until every core retires its budget.
+	remaining := len(cores)
+	for _, c := range cores {
+		c.Run(cfg.InstrPerCore, func(*cpu.Core) { remaining-- })
+	}
+	for remaining > 0 {
+		if !eng.Step() {
+			return Result{}, fmt.Errorf("sim: deadlock with %d cores unfinished at %v", remaining, eng.Now())
+		}
+	}
+
+	res := Result{
+		Benchmarks:      append([]string(nil), cfg.Benchmarks...),
+		DCache:          dc.Stats(),
+		DRAM:            dc.DRAMStats(),
+		Ctrl:            dc.CtrlStats(),
+		L2MissLatencyNS: l2.AvgMissLatency().NS(),
+		L2Writebacks:    l2.Writebacks,
+		LeeEager:        l2.LeeEager,
+		MainMemReads:    mem.Reads,
+		MainMemWrites:   mem.Writes,
+	}
+	if l2.Reads > 0 {
+		res.L2MissRate = float64(l2.ReadMisses) / float64(l2.Reads)
+	}
+	res.DRAMTagAccesses = res.DRAM.TagAccesses
+	if tc := dc.TagCache(); tc != nil {
+		res.TagCacheLookups = tc.Lookups
+		res.TagCacheHits = tc.Hits
+	}
+	for _, c := range cores {
+		res.IPC = append(res.IPC, c.IPC())
+		res.FinishNS = append(res.FinishNS, c.FinishTime().NS())
+	}
+	return res, nil
+}
+
+// AloneIPC runs a single benchmark alone on the given configuration and
+// returns its IPC — the denominator of the weighted-speedup metric. The
+// controller design used for alone runs is CD, the paper's normalization
+// baseline.
+func AloneIPC(cfg config.Config, bench string) (float64, error) {
+	cfg.Benchmarks = []string{bench}
+	cfg.Design = core.CD
+	cfg.Ctrl = nil
+	res, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.IPC[0], nil
+}
+
+// TotalNS returns the latest core finish time of a result.
+func (r Result) TotalNS() float64 {
+	max := 0.0
+	for _, f := range r.FinishNS {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// ReadRowHitRate forwards the DRAM read row-buffer hit rate.
+func (r Result) ReadRowHitRate() float64 { return r.DRAM.ReadRowHitRate() }
+
+// AccessesPerTurnaround forwards the DRAM turnaround metric.
+func (r Result) AccessesPerTurnaround() float64 { return r.DRAM.AccessesPerTurnaround() }
+
+// AvgReadLatencyNS returns the mean DRAM-cache read latency in ns.
+func (r Result) AvgReadLatencyNS() float64 {
+	return simtime.Time(r.DCache.AvgReadLatency()).NS()
+}

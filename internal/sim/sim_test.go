@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"dcasim/internal/config"
+	"dcasim/internal/core"
+	"dcasim/internal/dcache"
+)
+
+func testConfig() config.Config {
+	cfg := config.Test()
+	cfg.Benchmarks = []string{"mcf", "lbm", "libquantum", "omnetpp"}
+	return cfg
+}
+
+func TestRunCompletes(t *testing.T) {
+	for _, org := range []dcache.Org{dcache.SetAssoc, dcache.DirectMapped} {
+		for _, d := range []core.Design{core.CD, core.ROD, core.DCA} {
+			cfg := testConfig()
+			cfg.Org = org
+			cfg.Design = d
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", org, d, err)
+			}
+			for i, ipc := range res.IPC {
+				if ipc <= 0 || ipc > float64(cfg.CPU.Width) {
+					t.Errorf("%v/%v core %d: implausible IPC %v", org, d, i, ipc)
+				}
+			}
+			if res.DCache.ReadReqs == 0 {
+				t.Errorf("%v/%v: no DRAM cache reads", org, d)
+			}
+			if res.DCache.WritebackReqs == 0 {
+				t.Errorf("%v/%v: no DRAM cache writebacks", org, d)
+			}
+			if res.DRAM.Accesses == 0 {
+				t.Errorf("%v/%v: no DRAM accesses", org, d)
+			}
+			t.Logf("%v/%-3v IPC=%v hit=%.2f rowhit=%.2f accPerTA=%.1f L2missLat=%.1fns reads=%d wb=%d refill=%d turn=%d",
+				org, d, res.IPC, res.DCache.ReadHitRate(), res.ReadRowHitRate(),
+				res.AccessesPerTurnaround(), res.L2MissLatencyNS,
+				res.DCache.ReadReqs, res.DCache.WritebackReqs, res.DCache.RefillReqs, res.DRAM.Turnarounds)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.IPC {
+		if a.IPC[i] != b.IPC[i] {
+			t.Fatalf("core %d IPC differs between identical runs: %v vs %v", i, a.IPC[i], b.IPC[i])
+		}
+	}
+	if a.DRAM != b.DRAM {
+		t.Fatalf("DRAM stats differ between identical runs:\n%+v\n%+v", a.DRAM, b.DRAM)
+	}
+}

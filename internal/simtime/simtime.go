@@ -1,0 +1,66 @@
+// Package simtime defines the simulated time base shared by every model in
+// the simulator.
+//
+// All timestamps and durations are integer picoseconds. Integer time keeps
+// the discrete-event kernel exactly deterministic (no floating-point drift)
+// while still expressing sub-nanosecond DRAM parameters such as the
+// tBURST = 3.33 ns and tRTW = 1.67 ns values of the paper's Table II.
+package simtime
+
+import "fmt"
+
+// Time is a simulated timestamp or duration in picoseconds.
+type Time int64
+
+// Common units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Never is a timestamp later than any reachable simulation time. It is used
+// as the "not scheduled" sentinel.
+const Never Time = 1<<63 - 1
+
+// FromNS converts a duration expressed in (possibly fractional)
+// nanoseconds into a Time, rounding to the nearest picosecond.
+func FromNS(ns float64) Time {
+	if ns < 0 {
+		return Time(ns*float64(Nanosecond) - 0.5)
+	}
+	return Time(ns*float64(Nanosecond) + 0.5)
+}
+
+// NS reports t in nanoseconds as a float64.
+func (t Time) NS() float64 { return float64(t) / float64(Nanosecond) }
+
+// String formats the time with an adaptive unit, e.g. "8ns" or "3.33ns".
+func (t Time) String() string {
+	switch {
+	case t == Never:
+		return "never"
+	case t%Nanosecond == 0:
+		return fmt.Sprintf("%dns", int64(t/Nanosecond))
+	default:
+		return fmt.Sprintf("%.3gns", t.NS())
+	}
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

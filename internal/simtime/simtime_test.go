@@ -1,0 +1,72 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromNS(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Time
+	}{
+		{0, 0},
+		{1, 1000},
+		{3.33, 3330},
+		{1.67, 1670},
+		{7.5, 7500},
+		{0.0004, 0}, // rounds to nearest ps
+		{0.0006, 1},
+		{-1, -1000},
+	}
+	for _, c := range cases {
+		if got := FromNS(c.ns); got != c.want {
+			t.Errorf("FromNS(%v) = %v, want %v", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestNSRoundTrip(t *testing.T) {
+	f := func(ps int64) bool {
+		tm := Time(ps % (1 << 40))
+		return FromNS(tm.NS()) == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{8 * Nanosecond, "8ns"},
+		{FromNS(3.33), "3.33ns"},
+		{Never, "never"},
+		{0, "0ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	if Nanosecond != 1000 || Microsecond != 1_000_000 || Millisecond != 1_000_000_000 {
+		t.Errorf("unit constants inconsistent: %d %d %d", Nanosecond, Microsecond, Millisecond)
+	}
+	if Second != 1000*Millisecond {
+		t.Error("Second inconsistent")
+	}
+}

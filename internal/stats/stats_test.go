@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if ws != 1.5 {
+		t.Fatalf("WS = %v, want 1.5", ws)
+	}
+}
+
+func TestWeightedSpeedupPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"length mismatch": func() { WeightedSpeedup([]float64{1}, []float64{1, 2}) },
+		"zero alone":      func() { WeightedSpeedup([]float64{1}, []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) should be 0")
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// Property: min <= geomean <= max for positive inputs. Inputs are
+	// folded into (0.1, ~1e6]: near math.MaxFloat64 the exp(mean(log))
+	// round-trip loses enough precision to overflow, which is not a
+	// regime the simulator's metrics ever reach.
+	fold := func(x float64) float64 { return math.Mod(math.Abs(x), 1e6) + 0.1 }
+	f := func(a, b, c float64) bool {
+		xs := []float64{fold(a), fold(b), fold(c)}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean broken")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRowf("alpha", 1.5)
+	tbl.AddRow("b", "x")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.500") {
+		t.Fatalf("float not formatted: %q", lines[2])
+	}
+	// Columns align: every row starts its second column at the same
+	// offset.
+	idx0 := strings.Index(lines[0], "value")
+	idx2 := strings.Index(lines[2], "1.500")
+	if idx0 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx0, idx2, out)
+	}
+}

@@ -1,0 +1,126 @@
+// Package tagcache models an ATCache-style SRAM tag cache (Huang &
+// Nagarajan, PACT 2014) in front of the tags-in-DRAM array, used by the
+// paper's Fig. 18 study.
+//
+// The tag cache stores recently used *tag blocks*. A hit removes the DRAM
+// tag probe from a request's access chain; a miss fetches the needed tag
+// block from DRAM and spatially prefetches the sibling tag blocks of the
+// same DRAM row (the source of ATCache's benefit — and of the extra DRAM
+// tag traffic the paper measures: tag-block temporal reuse is poor because
+// the tag cache is smaller than the tag footprint of the L2 working set).
+package tagcache
+
+// Config sizes the tag cache.
+type Config struct {
+	SizeBytes  int // total capacity
+	BlockBytes int // one tag block (64 B, covering one DRAM-cache set group)
+	Ways       int
+	// PrefetchSiblings is the number of neighbouring tag blocks fetched
+	// on a miss (the other tag blocks of the same DRAM row; 3 for the
+	// paper's 4-tag-block rows).
+	PrefetchSiblings int
+}
+
+// DefaultConfig returns an ATCache-like geometry: 64 B blocks, 8 ways,
+// row-granular prefetch of the 3 sibling tag blocks.
+func DefaultConfig(sizeBytes int) Config {
+	return Config{SizeBytes: sizeBytes, BlockBytes: 64, Ways: 8, PrefetchSiblings: 3}
+}
+
+// TagCache is a set-associative SRAM cache over tag-block indices.
+type TagCache struct {
+	cfg  Config
+	sets int
+	tags [][]int64 // tag-block index per way; -1 invalid
+	lru  [][]uint32
+	tick uint32
+
+	Lookups    int64
+	Hits       int64
+	Misses     int64
+	Prefetches int64
+}
+
+// New builds the tag cache; size must hold at least one set.
+func New(cfg Config) *TagCache {
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	sets := blocks / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	t := &TagCache{cfg: cfg, sets: sets}
+	t.tags = make([][]int64, sets)
+	t.lru = make([][]uint32, sets)
+	for i := 0; i < sets; i++ {
+		t.tags[i] = make([]int64, cfg.Ways)
+		t.lru[i] = make([]uint32, cfg.Ways)
+		for w := range t.tags[i] {
+			t.tags[i][w] = -1
+		}
+	}
+	return t
+}
+
+func (t *TagCache) set(blockIdx int64) int { return int(blockIdx % int64(t.sets)) }
+
+// Lookup probes the tag cache for a tag block and returns whether it hit.
+// On a miss the block is installed together with its row siblings
+// (spatial prefetch) and the number of DRAM tag-block fetches performed
+// (1 + prefetches) is returned; on a hit zero fetches are needed.
+func (t *TagCache) Lookup(blockIdx int64, rowSiblings []int64) (hit bool, dramFetches int) {
+	t.Lookups++
+	t.tick++
+	if t.probe(blockIdx) {
+		t.Hits++
+		return true, 0
+	}
+	t.Misses++
+	t.install(blockIdx)
+	fetches := 1
+	for _, s := range rowSiblings {
+		if s == blockIdx {
+			continue
+		}
+		if fetches > t.cfg.PrefetchSiblings {
+			break
+		}
+		if !t.probe(s) {
+			t.install(s)
+			t.Prefetches++
+			fetches++
+		}
+	}
+	return false, fetches
+}
+
+func (t *TagCache) probe(blockIdx int64) bool {
+	s := t.set(blockIdx)
+	for w, tag := range t.tags[s] {
+		if tag == blockIdx {
+			t.lru[s][w] = t.tick
+			return true
+		}
+	}
+	return false
+}
+
+func (t *TagCache) install(blockIdx int64) {
+	s := t.set(blockIdx)
+	victim, oldest := 0, t.lru[s][0]
+	for w, tag := range t.tags[s] {
+		if tag == -1 {
+			victim = w
+			break
+		}
+		if t.lru[s][w] < oldest {
+			victim, oldest = w, t.lru[s][w]
+		}
+	}
+	t.tags[s][victim] = blockIdx
+	t.lru[s][victim] = t.tick
+}
+
+// ResetStats clears the counters after warm-up.
+func (t *TagCache) ResetStats() {
+	t.Lookups, t.Hits, t.Misses, t.Prefetches = 0, 0, 0, 0
+}

@@ -1,0 +1,49 @@
+package workload
+
+// Mix is one multiprogrammed workload: the benchmark run on each core.
+type Mix struct {
+	ID         int
+	Benchmarks [4]string
+}
+
+// TableI returns the paper's 30 four-core workload groupings exactly as
+// listed in Table I.
+func TableI() []Mix {
+	rows := [][4]string{
+		{"soplex", "mcf", "gcc", "libquantum"},
+		{"astar", "omnetpp", "GemsFDTD", "gcc"},
+		{"mcf", "soplex", "astar", "leslie3d"},
+		{"bwaves", "lbm", "libquantum", "leslie3d"},
+		{"omnetpp", "milc", "leslie3d", "astar"},
+		{"soplex", "astar", "lbm", "mcf"},
+		{"lbm", "omnetpp", "leslie3d", "bwaves"},
+		{"milc", "leslie3d", "omnetpp", "gcc"},
+		{"bwaves", "astar", "gcc", "leslie3d"},
+		{"omnetpp", "libquantum", "mcf", "gcc"},
+		{"gcc", "libquantum", "lbm", "soplex"},
+		{"gcc", "leslie3d", "GemsFDTD", "soplex"},
+		{"lbm", "libquantum", "omnetpp", "bwaves"},
+		{"gcc", "mcf", "leslie3d", "milc"},
+		{"omnetpp", "mcf", "leslie3d", "lbm"},
+		{"libquantum", "lbm", "soplex", "astar"},
+		{"milc", "libquantum", "bwaves", "GemsFDTD"},
+		{"leslie3d", "astar", "libquantum", "bwaves"},
+		{"lbm", "gcc", "mcf", "libquantum"},
+		{"soplex", "astar", "GemsFDTD", "leslie3d"},
+		{"GemsFDTD", "astar", "leslie3d", "libquantum"},
+		{"libquantum", "milc", "lbm", "mcf"},
+		{"lbm", "libquantum", "leslie3d", "bwaves"},
+		{"milc", "leslie3d", "omnetpp", "bwaves"},
+		{"bwaves", "astar", "GemsFDTD", "leslie3d"},
+		{"gcc", "soplex", "libquantum", "milc"},
+		{"omnetpp", "lbm", "leslie3d", "GemsFDTD"},
+		{"soplex", "bwaves", "GemsFDTD", "leslie3d"},
+		{"GemsFDTD", "leslie3d", "libquantum", "milc"},
+		{"omnetpp", "bwaves", "leslie3d", "GemsFDTD"},
+	}
+	mixes := make([]Mix, len(rows))
+	for i, r := range rows {
+		mixes[i] = Mix{ID: i + 1, Benchmarks: r}
+	}
+	return mixes
+}

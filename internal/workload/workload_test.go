@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	want := []string{"mcf", "soplex", "gcc", "libquantum", "astar", "omnetpp",
+		"GemsFDTD", "leslie3d", "bwaves", "lbm", "milc"}
+	for _, n := range want {
+		p, err := Lookup(n)
+		if err != nil {
+			t.Errorf("missing benchmark %q: %v", n, err)
+			continue
+		}
+		if p.MemPer1000 <= 0 || p.MemPer1000 > 1000 {
+			t.Errorf("%s: implausible memory intensity %d", n, p.MemPer1000)
+		}
+		if p.StoreFrac < 0 || p.StoreFrac > 1 {
+			t.Errorf("%s: bad store fraction %v", n, p.StoreFrac)
+		}
+		if p.WorkingSetMB < 16 {
+			t.Errorf("%s: working set %d MB too small to stress a DRAM cache", n, p.WorkingSetMB)
+		}
+	}
+	if len(Names()) != len(want) {
+		t.Errorf("Names() has %d entries, want %d", len(Names()), len(want))
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("quake"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestGenDeterminism(t *testing.T) {
+	p, _ := Lookup("mcf")
+	a := NewGen(p, 42, 0, 0.1)
+	b := NewGen(p, 42, 0, 0.1)
+	for i := 0; i < 10_000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("generators with identical seeds diverged at op %d", i)
+		}
+	}
+}
+
+func TestGenSeedsDiffer(t *testing.T) {
+	p, _ := Lookup("mcf")
+	a := NewGen(p, 1, 0, 0.1)
+	b := NewGen(p, 2, 0, 0.1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next().Addr == b.Next().Addr {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced %d/1000 identical addresses", same)
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, _ := Lookup("bwaves")
+		base := int64(1) << 40
+		g := NewGen(p, seed, base, 0.05)
+		ws := g.WorkingSetBlocks()
+		for i := 0; i < 2000; i++ {
+			op := g.Next()
+			if op.Addr < base || op.Addr >= base+ws {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryIntensity(t *testing.T) {
+	p, _ := Lookup("lbm")
+	g := NewGen(p, 7, 0, 0.1)
+	instrs, ops := 0, 0
+	for ops < 20_000 {
+		op := g.Next()
+		instrs += op.Gap + 1
+		ops++
+	}
+	got := float64(ops) / float64(instrs) * 1000
+	lo, hi := float64(p.MemPer1000)*0.7, float64(p.MemPer1000)*1.4
+	if got < lo || got > hi {
+		t.Fatalf("lbm memory intensity %.1f per 1000 instr, want within [%.0f, %.0f]", got, lo, hi)
+	}
+}
+
+func TestStoreFraction(t *testing.T) {
+	p, _ := Lookup("lbm")
+	g := NewGen(p, 7, 0, 0.1)
+	stores := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if g.Next().Store {
+			stores++
+		}
+	}
+	got := float64(stores) / n
+	if got < p.StoreFrac-0.03 || got > p.StoreFrac+0.03 {
+		t.Fatalf("store fraction %.3f, want near %.2f", got, p.StoreFrac)
+	}
+}
+
+func TestStreamingLocality(t *testing.T) {
+	// libquantum is nearly pure streaming: most consecutive address
+	// deltas should be +1 block.
+	p, _ := Lookup("libquantum")
+	g := NewGen(p, 3, 0, 0.1)
+	seq := 0
+	const n = 20_000
+	prev := g.Next().Addr
+	for i := 0; i < n; i++ {
+		a := g.Next().Addr
+		if a == prev+1 {
+			seq++
+		}
+		prev = a
+	}
+	if frac := float64(seq) / n; frac < 0.5 {
+		t.Fatalf("libquantum sequential fraction %.2f, want streaming-dominated", frac)
+	}
+
+	// mcf is pointer-chasing: sequential deltas must be rare.
+	p, _ = Lookup("mcf")
+	g = NewGen(p, 3, 0, 0.1)
+	seq = 0
+	prev = g.Next().Addr
+	for i := 0; i < n; i++ {
+		a := g.Next().Addr
+		if a == prev+1 {
+			seq++
+		}
+		prev = a
+	}
+	if frac := float64(seq) / n; frac > 0.4 {
+		t.Fatalf("mcf sequential fraction %.2f, want irregular-dominated", frac)
+	}
+}
+
+func TestPCsStable(t *testing.T) {
+	p, _ := Lookup("milc")
+	g := NewGen(p, 5, 0, 0.1)
+	pcs := map[uint64]bool{}
+	for i := 0; i < 50_000; i++ {
+		pcs[g.Next().PC] = true
+	}
+	if len(pcs) > 64 {
+		t.Fatalf("%d distinct PCs; MAP-I needs a small stable set", len(pcs))
+	}
+	if len(pcs) < 3 {
+		t.Fatalf("only %d distinct PCs; need pattern-differentiated PCs", len(pcs))
+	}
+}
+
+func TestTableI(t *testing.T) {
+	mixes := TableI()
+	if len(mixes) != 30 {
+		t.Fatalf("Table I has %d mixes, want 30", len(mixes))
+	}
+	for _, m := range mixes {
+		if m.ID < 1 || m.ID > 30 {
+			t.Errorf("mix ID %d out of range", m.ID)
+		}
+		for _, b := range m.Benchmarks {
+			if _, err := Lookup(b); err != nil {
+				t.Errorf("mix %d references unknown benchmark %q", m.ID, b)
+			}
+		}
+	}
+	// Spot-check two rows against the paper's table.
+	if got := mixes[0].Benchmarks; got != [4]string{"soplex", "mcf", "gcc", "libquantum"} {
+		t.Errorf("mix 1 = %v", got)
+	}
+	if got := mixes[29].Benchmarks; got != [4]string{"omnetpp", "bwaves", "leslie3d", "GemsFDTD"} {
+		t.Errorf("mix 30 = %v", got)
+	}
+}
+
+func TestWSScaleFloor(t *testing.T) {
+	p, _ := Lookup("gcc")
+	g := NewGen(p, 1, 0, 0.000001)
+	if g.WorkingSetBlocks() < 1024 {
+		t.Fatal("working set floor not applied")
+	}
+	g2 := NewGen(p, 1, 0, 0) // non-positive scale falls back to 1.0
+	if g2.WorkingSetBlocks() != int64(p.WorkingSetMB)<<20/64 {
+		t.Fatalf("zero scale handled wrong: %d blocks", g2.WorkingSetBlocks())
+	}
+}
