@@ -1,0 +1,29 @@
+# Tier-1 verification plus the benchmark smoke target.
+#
+#   make            - build + vet + test (what CI runs per PR)
+#   make bench-short - one pass over the substrate microbenchmarks and
+#                      one small figure benchmark, with allocation stats
+
+GO ?= go
+
+.PHONY: all build vet test bench-short ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short benchmark pass: substrate microbenchmarks at a real benchtime
+# (their alloc counts are regression-guarded), figure benchmarks at one
+# iteration just to prove the drivers run.
+bench-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkEventEngine|BenchmarkChannelIssue|BenchmarkWorkloadGen' -benchmem -benchtime 0.2s .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig8$$|BenchmarkSimOneRun' -benchmem -benchtime 1x .
+
+ci: build vet test

@@ -1,0 +1,3 @@
+module dcasim
+
+go 1.21

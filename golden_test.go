@@ -1,0 +1,80 @@
+package dcasim
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcasim/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenTable runs one small multiprogrammed mix across every controller
+// design and both cache organizations and renders the results as a
+// stats.Table. The table digests every statistic family a figure driver
+// consumes (IPC, finish time, hit rates, DRAM row outcomes, controller
+// issue counts), so any behavioural drift in the simulation — in
+// particular a change to the event kernel's (time, sequence) ordering —
+// shows up as a diff.
+func goldenTable() (*stats.Table, error) {
+	tbl := stats.NewTable(
+		"design", "org", "totalNS", "ipc0", "ipc3",
+		"rdHits", "rdMiss", "dramAcc", "rowHitR",
+		"prIss", "lrIss", "wrIss", "memRd", "memWr",
+	)
+	for _, design := range []Design{CD, ROD, DCA} {
+		for _, org := range []Org{SetAssoc, DirectMapped} {
+			cfg := TestConfig()
+			cfg.Benchmarks = []string{"soplex", "mcf", "gcc", "libquantum"}
+			cfg.Design = design
+			cfg.Org = org
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRowf(
+				fmt.Sprint(design), fmt.Sprint(org), res.TotalNS(),
+				res.IPC[0], res.IPC[3],
+				fmt.Sprint(res.DCache.ReadHits), fmt.Sprint(res.DCache.ReadMisses),
+				fmt.Sprint(res.DRAM.Accesses), res.ReadRowHitRate(),
+				fmt.Sprint(res.Ctrl.PRIssued), fmt.Sprint(res.Ctrl.LRIssued),
+				fmt.Sprint(res.Ctrl.WritesIssued),
+				fmt.Sprint(res.MainMemReads), fmt.Sprint(res.MainMemWrites),
+			)
+		}
+	}
+	return tbl, nil
+}
+
+// TestGoldenTable pins the simulator's observable output bit-for-bit.
+// The golden file was generated with the original closure-per-event
+// binary-heap kernel; the pooled 4-ary-heap kernel must reproduce it
+// exactly. Regenerate (only when an intentional model change lands) with:
+//
+//	go test -run TestGoldenTable -update .
+func TestGoldenTable(t *testing.T) {
+	tbl, err := goldenTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.String()
+	path := filepath.Join("testdata", "golden_table.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("simulation output diverged from golden file:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}

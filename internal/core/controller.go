@@ -8,9 +8,12 @@ import (
 )
 
 // Entry is one queued DRAM access together with the request context the
-// controllers classify on.
+// controllers classify on. Entries are pooled by the controller: the
+// access is embedded by value and records are recycled through a free
+// list once their completion fires, so steady-state enqueue/issue/
+// complete cycles allocate nothing.
 type Entry struct {
-	Acc     *dram.Access
+	Acc     dram.Access
 	ReqType RequestType
 
 	// priorityRead is true for read accesses belonging to cache read
@@ -63,6 +66,9 @@ type Controller struct {
 	busy        bool
 	seq         uint64
 
+	// pool is the free list of retired entries awaiting reuse.
+	pool []*Entry
+
 	stats Stats
 }
 
@@ -96,11 +102,30 @@ func (c *Controller) QueueDepths() (reads, writes int) {
 	return len(c.readQ), len(c.writeQ)
 }
 
+// getEntry takes a record off the free list, or grows the pool.
+func (c *Controller) getEntry() *Entry {
+	if n := len(c.pool); n > 0 {
+		e := c.pool[n-1]
+		c.pool[n-1] = nil
+		c.pool = c.pool[:n-1]
+		return e
+	}
+	return new(Entry)
+}
+
+// putEntry clears a retired record (dropping its callback references)
+// and returns it to the free list.
+func (c *Controller) putEntry(e *Entry) {
+	*e = Entry{}
+	c.pool = append(c.pool, e)
+}
+
 // Enqueue routes one access into the controller's queues following the
 // design's classification rule and triggers a scheduling evaluation.
-func (c *Controller) Enqueue(acc *dram.Access, reqType RequestType) {
+func (c *Controller) Enqueue(acc dram.Access, reqType RequestType) {
 	c.seq++
-	e := &Entry{Acc: acc, ReqType: reqType, enqueued: c.eng.Now(), seq: c.seq}
+	e := c.getEntry()
+	*e = Entry{Acc: acc, ReqType: reqType, enqueued: c.eng.Now(), seq: c.seq}
 	toWrite := c.routesToWriteQueue(acc.Kind, reqType)
 	if !toWrite && !acc.Kind.IsWrite() {
 		e.priorityRead = reqType == ReadReq
@@ -277,16 +302,21 @@ func (c *Controller) issue(e *Entry, fromRead, viaOFS bool, now simtime.Time) {
 		}
 	}
 
-	done := c.ch.Issue(e.Acc, now)
+	done := c.ch.Issue(&e.Acc, now)
 	c.bliss.OnServed(now, e.Acc.App)
 	c.busy = true
-	c.eng.At(done, func() {
-		c.busy = false
-		if e.Acc.Done != nil {
-			e.Acc.Done(done)
-		}
-		c.kick()
-	})
+	c.eng.Schedule(done, c, event.Payload{Ptr: e})
+}
+
+// OnEvent implements event.Handler: it fires at an access's data
+// completion time, retires the entry, and re-evaluates the scheduler.
+func (c *Controller) OnEvent(now simtime.Time, p event.Payload) {
+	e := p.Ptr.(*Entry)
+	cb := e.Acc.Done
+	c.putEntry(e)
+	c.busy = false
+	cb.Invoke(now)
+	c.kick()
 }
 
 // touchRRPC applies the RRIP-style update: every bank counter decays by

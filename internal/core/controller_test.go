@@ -19,8 +19,12 @@ func testRig(d Design) (*event.Engine, *dram.Channel, *Controller) {
 	return eng, ch, NewController(eng, ch, DefaultConfig(d), 4)
 }
 
-func acc(kind dram.Kind, bank int, row int64, done func(simtime.Time)) *dram.Access {
-	return &dram.Access{Kind: kind, Loc: addrmap.Loc{Bank: bank, Row: row}, Bytes: 64, Done: done}
+func acc(kind dram.Kind, bank int, row int64, done func(simtime.Time)) dram.Access {
+	var cb event.Callback
+	if done != nil {
+		cb = event.Func(done)
+	}
+	return dram.Access{Kind: kind, Loc: addrmap.Loc{Bank: bank, Row: row}, Bytes: 64, Done: cb}
 }
 
 func TestDefaultConfigsMatchTableII(t *testing.T) {

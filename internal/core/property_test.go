@@ -42,20 +42,20 @@ func TestControllerConservation(t *testing.T) {
 			if isRead && !toWriteQ {
 				readsEnqueued++
 			}
-			a := &dram.Access{
+			a := dram.Access{
 				Kind:  kind,
 				Loc:   addrmap.Loc{Bank: r.Intn(8), Row: int64(r.Intn(64)), Col: r.Intn(64)},
 				Bytes: 64,
 				App:   r.Intn(4),
 			}
 			if isRead && !toWriteQ {
-				a.Done = func(now simtime.Time) {
+				a.Done = event.Func(func(now simtime.Time) {
 					readsDone++
 					if now < lastDone {
 						monotone = false
 					}
 					lastDone = now
-				}
+				})
 			}
 			ctrl.Enqueue(a, req)
 			// Let the engine make progress between batches.

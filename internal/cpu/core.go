@@ -50,7 +50,8 @@ type Core struct {
 	target     int64
 	executed   int64
 	cpuTime    simtime.Time
-	pendingOp  *workload.Op
+	pendingOp  workload.Op
+	havePend   bool
 	pendingAt  simtime.Time
 	loads      []inflight
 	notDone    int
@@ -103,12 +104,27 @@ func (c *Core) IPC() float64 {
 	return float64(c.target) / cycles
 }
 
+// Event kinds a Core schedules on itself, carried in Payload.U64.
+const (
+	coreStep     = iota // advance the dispatch loop
+	coreLoadDone        // a long-latency load completed (Payload.I64 = idx)
+)
+
+// OnEvent implements event.Handler for the core's own events.
+func (c *Core) OnEvent(_ simtime.Time, p event.Payload) {
+	if p.U64 == coreLoadDone {
+		c.completeLoad(p.I64)
+		return
+	}
+	c.step()
+}
+
 // Run starts the core toward target retired instructions; onFinish fires
 // when it gets there.
 func (c *Core) Run(target int64, onFinish func(*Core)) {
 	c.target = target
 	c.onFinish = onFinish
-	c.eng.At(c.eng.Now(), c.step)
+	c.eng.Schedule(c.eng.Now(), c, event.Payload{U64: coreStep})
 }
 
 // Warm advances the core's trace through the functional hierarchy for
@@ -157,10 +173,10 @@ func (c *Core) step() {
 		}
 		// Fetch the next memory operation lazily so its dispatch time
 		// is pinned once.
-		if c.pendingOp == nil {
-			op := c.gen.Next()
-			c.pendingOp = &op
-			c.pendingAt = c.cpuTime + simtime.Time(op.Gap+1)*c.slot
+		if !c.havePend {
+			c.pendingOp = c.gen.Next()
+			c.havePend = true
+			c.pendingAt = c.cpuTime + simtime.Time(c.pendingOp.Gap+1)*c.slot
 		}
 		// Blocked on the ROB window? The oldest incomplete load pins
 		// retirement; dispatch may run at most ROB instructions ahead.
@@ -176,12 +192,12 @@ func (c *Core) step() {
 			return
 		}
 		if c.pendingAt > now {
-			c.eng.At(c.pendingAt, c.step)
+			c.eng.Schedule(c.pendingAt, c, event.Payload{U64: coreStep})
 			c.stepQueued = true
 			return
 		}
-		op := *c.pendingOp
-		c.pendingOp = nil
+		op := c.pendingOp
+		c.havePend = false
 		c.executed += int64(op.Gap) + 1
 		// A stall may have carried cpuTime past the dispatch point that
 		// was computed before the stall; never move the clock backward.
@@ -215,9 +231,8 @@ func (c *Core) execMem(op workload.Op) {
 	idx := c.executed
 	c.loads = append(c.loads, inflight{idx: idx})
 	c.notDone++
-	c.l2.Read(op.Addr, c.id, op.PC, func(simtime.Time) {
-		c.completeLoad(idx)
-	})
+	c.l2.Read(op.Addr, c.id, op.PC,
+		event.Callback{H: c, P: event.Payload{U64: coreLoadDone, I64: idx}})
 }
 
 // completeLoad marks the load dispatched at instruction idx complete and

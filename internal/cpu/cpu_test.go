@@ -154,8 +154,8 @@ func TestL2MSHRMerging(t *testing.T) {
 	l2 := NewL2(eng, l2arr, dc, 5*simtime.Nanosecond, false)
 
 	completions := 0
-	l2.Read(42, 0, 1, func(simtime.Time) { completions++ })
-	l2.Read(42, 0, 1, func(simtime.Time) { completions++ }) // merges
+	l2.Read(42, 0, 1, event.Func(func(simtime.Time) { completions++ }))
+	l2.Read(42, 0, 1, event.Func(func(simtime.Time) { completions++ })) // merges
 	eng.Run()
 	if completions != 2 {
 		t.Fatalf("%d completions, want 2", completions)
@@ -183,7 +183,7 @@ func TestL2HitLatency(t *testing.T) {
 	l2 := NewL2(eng, l2arr, dc, 5*simtime.Nanosecond, false)
 	l2.Write(42, 0) // install
 	var done simtime.Time
-	l2.Read(42, 0, 1, func(now simtime.Time) { done = now })
+	l2.Read(42, 0, 1, event.Func(func(now simtime.Time) { done = now }))
 	eng.Run()
 	if done != 5*simtime.Nanosecond {
 		t.Fatalf("L2 hit completed at %v, want 5ns", done)

@@ -7,6 +7,8 @@ import (
 	"dcasim/internal/simtime"
 )
 
+var _ event.Handler = (*L2)(nil)
+
 // L2 is the shared last-level SRAM cache in front of the DRAM cache. It
 // is functional with a fixed hit latency; misses go to the DRAM cache and
 // merge in MSHRs. Dirty evictions become DRAM-cache writeback requests,
@@ -21,7 +23,10 @@ type L2 struct {
 	hitLat simtime.Time
 	lee    bool
 
-	mshr map[int64][]func(simtime.Time)
+	mshr map[int64][]event.Callback
+	// wpool recycles drained MSHR waiter slices so misses allocate no
+	// fresh slice headers in steady state.
+	wpool [][]event.Callback
 
 	Reads        int64
 	ReadMisses   int64
@@ -39,18 +44,29 @@ func NewL2(eng *event.Engine, arr *cache.Cache, dc *dcache.DCache, hitLat simtim
 		dc:     dc,
 		hitLat: hitLat,
 		lee:    lee,
-		mshr:   make(map[int64][]func(simtime.Time)),
+		mshr:   make(map[int64][]event.Callback),
 	}
+}
+
+// getWaiters returns an empty waiter slice, reusing a drained one.
+func (l *L2) getWaiters() []event.Callback {
+	if n := len(l.wpool); n > 0 {
+		w := l.wpool[n-1]
+		l.wpool[n-1] = nil
+		l.wpool = l.wpool[:n-1]
+		return w
+	}
+	return make([]event.Callback, 0, 4)
 }
 
 // Read services a load that missed in L1. done fires when the block is
 // available to the core.
-func (l *L2) Read(addr int64, coreID int, pc uint64, done func(simtime.Time)) {
+func (l *L2) Read(addr int64, coreID int, pc uint64, done event.Callback) {
 	l.Reads++
 	present, _ := l.arr.Probe(addr)
 	if present {
 		l.arr.Access(addr, false) // refresh LRU
-		l.eng.After(l.hitLat, func() { done(l.eng.Now()) })
+		l.eng.CallAfter(l.hitLat, done)
 		return
 	}
 	l.ReadMisses++
@@ -58,18 +74,31 @@ func (l *L2) Read(addr int64, coreID int, pc uint64, done func(simtime.Time)) {
 		l.mshr[addr] = append(waiters, done)
 		return
 	}
-	l.mshr[addr] = []func(simtime.Time){done}
-	start := l.eng.Now()
-	l.dc.Read(addr, coreID, pc, func(now simtime.Time) {
-		l.MissLatency += now - start
-		l.MissesServed++
-		l.install(addr, false, coreID)
-		waiters := l.mshr[addr]
-		delete(l.mshr, addr)
-		for _, w := range waiters {
-			w(now)
-		}
-	})
+	l.mshr[addr] = append(l.getWaiters(), done)
+	l.dc.Read(addr, coreID, pc, event.Callback{H: l, P: event.Payload{
+		I64:  addr,
+		Time: l.eng.Now(),
+		U64:  uint64(coreID),
+	}})
+}
+
+// OnEvent implements event.Handler: the DRAM cache finished servicing a
+// miss (Payload: I64 = block address, Time = request start, U64 = the
+// first requester's core ID).
+func (l *L2) OnEvent(now simtime.Time, p event.Payload) {
+	addr := p.I64
+	l.MissLatency += now - p.Time
+	l.MissesServed++
+	l.install(addr, false, int(p.U64))
+	waiters := l.mshr[addr]
+	delete(l.mshr, addr)
+	for _, w := range waiters {
+		w.Invoke(now)
+	}
+	for i := range waiters {
+		waiters[i] = event.Callback{}
+	}
+	l.wpool = append(l.wpool, waiters[:0])
 }
 
 // Write installs a dirty block (an L1 dirty eviction). Allocation is

@@ -80,8 +80,14 @@ type DCache struct {
 	tcache *tagcache.TagCache
 	bear   bool
 
+	// rrPool recycles retired readReq records so the read path allocates
+	// nothing in steady state.
+	rrPool []*readReq
+
 	stats Stats
 }
+
+var _ event.Handler = (*DCache)(nil)
 
 // New builds the DRAM cache, its channels, and one controller per
 // channel.
@@ -175,13 +181,15 @@ func (d *DCache) ResetStats() {
 	}
 }
 
-func (d *DCache) enqueue(kind dram.Kind, loc addrmap.Loc, bytes, coreID int, reqType core.RequestType, done func(simtime.Time)) {
-	acc := &dram.Access{Kind: kind, Loc: loc, Bytes: bytes, App: coreID, Done: done}
+func (d *DCache) enqueue(kind dram.Kind, loc addrmap.Loc, bytes, coreID int, reqType core.RequestType, done event.Callback) {
+	acc := dram.Access{Kind: kind, Loc: loc, Bytes: bytes, App: coreID, Done: done}
 	d.ctrls[loc.Channel].Enqueue(acc, reqType)
 }
 
 // readReq tracks one in-flight cache read request across its tag probe
-// and (on a miss) the overlapped main-memory fetch.
+// and (on a miss) the overlapped main-memory fetch. Records are pooled:
+// a readReq implements event.Handler and is released back to the cache's
+// free list once its last outstanding event has fired.
 type readReq struct {
 	d             *DCache
 	addr          int64
@@ -195,15 +203,63 @@ type readReq struct {
 	tagDone       bool
 	hit           bool
 	finished      bool
-	done          func(simtime.Time)
+	done          event.Callback
+}
+
+// Event kinds a readReq schedules on itself, carried in Payload.U64.
+const (
+	rrTagDone  = iota // the tag probe (or TAD read) completed
+	rrMemDone         // the overlapped main-memory fetch completed
+	rrDataDone        // the hit-path data read completed
+)
+
+// OnEvent implements event.Handler, dispatching on the event kind.
+func (r *readReq) OnEvent(now simtime.Time, p event.Payload) {
+	switch p.U64 {
+	case rrTagDone:
+		r.afterTag(now)
+	case rrMemDone:
+		r.memDone = true
+		r.memAt = now
+		if r.tagDone && !r.hit {
+			r.finishMiss(now)
+		}
+	case rrDataDone:
+		r.complete(now)
+	}
+	r.maybeFree()
+}
+
+// maybeFree returns the record to the pool once no outstanding event can
+// still reference it: the request finished and any speculative memory
+// fetch (which may outlive a hit as a wasted fetch) has also landed.
+func (r *readReq) maybeFree() {
+	if !r.finished || (r.fetchStarted && !r.memDone) {
+		return
+	}
+	d := r.d
+	*r = readReq{}
+	d.rrPool = append(d.rrPool, r)
+}
+
+// getReadReq takes a record off the free list, or grows the pool.
+func (d *DCache) getReadReq() *readReq {
+	if n := len(d.rrPool); n > 0 {
+		r := d.rrPool[n-1]
+		d.rrPool[n-1] = nil
+		d.rrPool = d.rrPool[:n-1]
+		return r
+	}
+	return new(readReq)
 }
 
 // Read issues a cache read request for block address addr (a block
 // number, i.e. physical address >> 6). done fires when the data is
 // available to the requester.
-func (d *DCache) Read(addr int64, coreID int, pc uint64, done func(simtime.Time)) {
+func (d *DCache) Read(addr int64, coreID int, pc uint64, done event.Callback) {
 	d.stats.ReadReqs++
-	r := &readReq{d: d, addr: addr, coreID: coreID, pc: pc, start: d.eng.Now(), done: done}
+	r := d.getReadReq()
+	*r = readReq{d: d, addr: addr, coreID: coreID, pc: pc, start: d.eng.Now(), done: done}
 
 	if d.mapi != nil && d.mapi.PredictMiss(coreID, pc) {
 		r.predictedMiss = true
@@ -215,21 +271,23 @@ func (d *DCache) Read(addr int64, coreID int, pc uint64, done func(simtime.Time)
 	if d.geom.Org == DirectMapped {
 		probeKind, probeBytes = dram.ReadTAD, TADBytes
 	}
+	afterTag := event.Callback{H: r, P: event.Payload{U64: rrTagDone}}
 	if d.tcache != nil {
 		hit, fetches := d.tcache.Lookup(d.geom.TagBlockIndex(set), d.geom.TagRowSiblings(set))
 		if hit {
 			r.afterTag(d.eng.Now())
+			r.maybeFree()
 			return
 		}
-		d.enqueueTagFetches(set, fetches, coreID, core.ReadReq, r.afterTag)
+		d.enqueueTagFetches(set, fetches, coreID, core.ReadReq, afterTag)
 		return
 	}
-	d.enqueue(probeKind, d.geom.TagLoc(set, d.mapper), probeBytes, coreID, core.ReadReq, r.afterTag)
+	d.enqueue(probeKind, d.geom.TagLoc(set, d.mapper), probeBytes, coreID, core.ReadReq, afterTag)
 }
 
 // enqueueTagFetches issues the demanded tag-block read plus the tag
 // cache's spatial prefetches of sibling tag blocks in the same row.
-func (d *DCache) enqueueTagFetches(set int64, fetches, coreID int, reqType core.RequestType, done func(simtime.Time)) {
+func (d *DCache) enqueueTagFetches(set int64, fetches, coreID int, reqType core.RequestType, done event.Callback) {
 	d.enqueue(dram.ReadTag, d.geom.TagLoc(set, d.mapper), BlockBytes, coreID, reqType, done)
 	issued := 1
 	for _, sib := range d.geom.TagRowSiblings(set) {
@@ -239,20 +297,14 @@ func (d *DCache) enqueueTagFetches(set int64, fetches, coreID int, reqType core.
 		if sib == set {
 			continue
 		}
-		d.enqueue(dram.ReadTag, d.geom.TagLoc(sib, d.mapper), BlockBytes, coreID, reqType, nil)
+		d.enqueue(dram.ReadTag, d.geom.TagLoc(sib, d.mapper), BlockBytes, coreID, reqType, event.Callback{})
 		issued++
 	}
 }
 
 func (r *readReq) startFetch() {
 	r.fetchStarted = true
-	r.d.mem.Read(func(at simtime.Time) {
-		r.memDone = true
-		r.memAt = at
-		if r.tagDone && !r.hit {
-			r.finishMiss(at)
-		}
-	})
+	r.d.mem.Read(event.Callback{H: r, P: event.Payload{U64: rrMemDone}})
 }
 
 func (r *readReq) afterTag(now simtime.Time) {
@@ -271,8 +323,9 @@ func (r *readReq) afterTag(now simtime.Time) {
 		}
 		if d.geom.Org == SetAssoc {
 			// Data read (PR), then the replacement-bit tag write.
-			d.enqueue(dram.ReadData, d.geom.DataLoc(set, way, d.mapper), BlockBytes, r.coreID, core.ReadReq, r.complete)
-			d.enqueue(dram.WriteTag, d.geom.TagLoc(set, d.mapper), BlockBytes, r.coreID, core.ReadReq, nil)
+			d.enqueue(dram.ReadData, d.geom.DataLoc(set, way, d.mapper), BlockBytes, r.coreID, core.ReadReq,
+				event.Callback{H: r, P: event.Payload{U64: rrDataDone}})
+			d.enqueue(dram.WriteTag, d.geom.TagLoc(set, d.mapper), BlockBytes, r.coreID, core.ReadReq, event.Callback{})
 		} else {
 			// The TAD probe already carried the data.
 			r.complete(now)
@@ -306,9 +359,7 @@ func (r *readReq) complete(now simtime.Time) {
 	r.finished = true
 	r.d.stats.ReadsCompleted++
 	r.d.stats.ReadLatency += now - r.start
-	if r.done != nil {
-		r.done(now)
-	}
+	r.done.Invoke(now)
 }
 
 // Writeback issues a dirty-eviction write request from the upper-level
@@ -319,18 +370,50 @@ func (d *DCache) Writeback(addr int64, coreID int) {
 	d.write(addr, coreID, core.WritebackReq)
 }
 
+// Event kinds the DCache schedules on itself for the write path. The
+// request context is packed into Payload.U64 (kind, core, way, request
+// type) with the block address or set in Payload.I64 — small scalars, so
+// a write-path continuation needs no allocated closure.
+const (
+	dcWriteTagDone   = iota // write-path tag probe completed (I64 = addr)
+	dcVictimReadDone        // victim data read completed (I64 = set)
+)
+
+func packWriteCtx(kind, coreID, way int, reqType core.RequestType) uint64 {
+	return uint64(kind) | uint64(coreID)<<8 | uint64(way)<<24 | uint64(reqType)<<40
+}
+
+// OnEvent implements event.Handler for write-path continuations.
+func (d *DCache) OnEvent(now simtime.Time, p event.Payload) {
+	kind := int(p.U64 & 0xff)
+	coreID := int(p.U64 >> 8 & 0xffff)
+	way := int(p.U64 >> 24 & 0xffff)
+	reqType := core.RequestType(p.U64 >> 40 & 0xff)
+	switch kind {
+	case dcWriteTagDone:
+		d.afterWriteTag(p.I64, coreID, reqType, now)
+	case dcVictimReadDone:
+		// The victim's data is out of the array (Fig. 2's RDw): stream
+		// it to main memory, then perform the data+tag writes.
+		d.mem.Write()
+		d.issueDataWrite(p.I64, way, coreID, reqType)
+	}
+}
+
 // write implements the shared writeback/refill translation (Fig. 2): a
 // tag read, then data+tag writes, with a victim data read when a dirty
 // block must be displaced.
 func (d *DCache) write(addr int64, coreID int, reqType core.RequestType) {
 	set := d.geom.SetOf(addr)
-	afterTag := func(now simtime.Time) { d.afterWriteTag(addr, coreID, reqType, now) }
+	afterTag := event.Callback{H: d, P: event.Payload{
+		I64: addr, U64: packWriteCtx(dcWriteTagDone, coreID, 0, reqType),
+	}}
 
 	// BEAR writeback probe: a hit needs no tag read before the writes.
 	if d.bear && reqType == core.WritebackReq {
 		if _, way := d.tags.lookup(addr); way >= 0 {
 			d.stats.BEARElided++
-			afterTag(d.eng.Now())
+			d.afterWriteTag(addr, coreID, reqType, d.eng.Now())
 			return
 		}
 	}
@@ -338,7 +421,7 @@ func (d *DCache) write(addr int64, coreID int, reqType core.RequestType) {
 	if d.tcache != nil {
 		hit, fetches := d.tcache.Lookup(d.geom.TagBlockIndex(set), d.geom.TagRowSiblings(set))
 		if hit {
-			afterTag(d.eng.Now())
+			d.afterWriteTag(addr, coreID, reqType, d.eng.Now())
 			return
 		}
 		d.enqueueTagFetches(set, fetches, coreID, reqType, afterTag)
@@ -376,13 +459,12 @@ func (d *DCache) afterWriteTag(addr int64, coreID int, reqType core.RequestType,
 		d.stats.VictimWrites++
 		if d.geom.Org == SetAssoc {
 			// Read the victim's data out of the array before
-			// overwriting it (Fig. 2's RDw), then write it to main
-			// memory and perform the data+tag writes.
+			// overwriting it (Fig. 2's RDw); completion continues in
+			// OnEvent's dcVictimReadDone arm.
 			d.enqueue(dram.ReadData, d.geom.DataLoc(set, vw, d.mapper), BlockBytes, coreID, reqType,
-				func(simtime.Time) {
-					d.mem.Write()
-					d.issueDataWrite(set, vw, coreID, reqType)
-				})
+				event.Callback{H: d, P: event.Payload{
+					I64: set, U64: packWriteCtx(dcVictimReadDone, coreID, vw, reqType),
+				}})
 			return
 		}
 		// Direct-mapped: the probe already carried the victim TAD.
@@ -395,11 +477,11 @@ func (d *DCache) afterWriteTag(addr int64, coreID int, reqType core.RequestType,
 // the set-associative design, one combined TAD write for direct-mapped.
 func (d *DCache) issueDataWrite(set int64, way, coreID int, reqType core.RequestType) {
 	if d.geom.Org == SetAssoc {
-		d.enqueue(dram.WriteData, d.geom.DataLoc(set, way, d.mapper), BlockBytes, coreID, reqType, nil)
-		d.enqueue(dram.WriteTag, d.geom.TagLoc(set, d.mapper), BlockBytes, coreID, reqType, nil)
+		d.enqueue(dram.WriteData, d.geom.DataLoc(set, way, d.mapper), BlockBytes, coreID, reqType, event.Callback{})
+		d.enqueue(dram.WriteTag, d.geom.TagLoc(set, d.mapper), BlockBytes, coreID, reqType, event.Callback{})
 		return
 	}
-	d.enqueue(dram.WriteTAD, d.geom.TagLoc(set, d.mapper), TADBytes, coreID, reqType, nil)
+	d.enqueue(dram.WriteTAD, d.geom.TagLoc(set, d.mapper), TADBytes, coreID, reqType, event.Callback{})
 }
 
 // WarmRead performs a functional (zero-time) read used during cache

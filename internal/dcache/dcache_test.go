@@ -45,7 +45,7 @@ func TestReadHitChainSetAssoc(t *testing.T) {
 	dc.WarmRead(42, 0, 1) // install the block
 
 	var doneAt simtime.Time
-	dc.Read(42, 0, 1, func(now simtime.Time) { doneAt = now })
+	dc.Read(42, 0, 1, event.Func(func(now simtime.Time) { doneAt = now }))
 	eng.Run()
 
 	if doneAt == 0 {
@@ -68,7 +68,7 @@ func TestReadHitChainSetAssoc(t *testing.T) {
 func TestReadMissRefillSetAssoc(t *testing.T) {
 	eng, dc, mem := rig(t, SetAssoc, nil)
 	var doneAt simtime.Time
-	dc.Read(42, 0, 1, func(now simtime.Time) { doneAt = now })
+	dc.Read(42, 0, 1, event.Func(func(now simtime.Time) { doneAt = now }))
 	eng.Run()
 
 	s := dc.Stats()
@@ -83,7 +83,7 @@ func TestReadMissRefillSetAssoc(t *testing.T) {
 		t.Fatalf("miss completed at %v, faster than main memory", doneAt)
 	}
 	// The refill installed the block: a second read hits.
-	dc.Read(42, 0, 1, nil)
+	dc.Read(42, 0, 1, event.Callback{})
 	eng.Run()
 	if dc.Stats().ReadHits != 1 {
 		t.Fatal("refill did not install the block")
@@ -99,7 +99,7 @@ func TestReadMissRefillSetAssoc(t *testing.T) {
 func TestReadDirectMappedSingleAccess(t *testing.T) {
 	eng, dc, _ := rig(t, DirectMapped, nil)
 	dc.WarmRead(42, 0, 1)
-	dc.Read(42, 0, 1, nil)
+	dc.Read(42, 0, 1, event.Callback{})
 	eng.Run()
 	ds := dc.DRAMStats()
 	// One combined TAD read; no separate data read, no tag write.
@@ -182,7 +182,7 @@ func TestMAPIOverlapsMissFetch(t *testing.T) {
 			// The warm reads install blocks; use fresh addresses below.
 		}
 		var done simtime.Time
-		dc.Read(7, 0, 99, func(now simtime.Time) { done = now })
+		dc.Read(7, 0, 99, event.Func(func(now simtime.Time) { done = now }))
 		eng.Run()
 		return done
 	}
@@ -199,10 +199,10 @@ func TestTagCacheSkipsProbe(t *testing.T) {
 		c.TagCache = &tc
 	})
 	dc.WarmRead(42, 0, 1)
-	dc.Read(42, 0, 1, nil) // tag-cache miss: fetches tag block + siblings
+	dc.Read(42, 0, 1, event.Callback{}) // tag-cache miss: fetches tag block + siblings
 	eng.Run()
 	first := dc.DRAMStats().TagAccesses
-	dc.Read(42, 0, 1, nil) // tag-cache hit: no DRAM tag read, just WT
+	dc.Read(42, 0, 1, event.Callback{}) // tag-cache hit: no DRAM tag read, just WT
 	eng.Run()
 	second := dc.DRAMStats().TagAccesses - first
 	// Second read: tag cache hit leaves only the replacement-update WT.
@@ -248,14 +248,14 @@ func TestRowSpan(t *testing.T) {
 
 func TestResetStats(t *testing.T) {
 	eng, dc, _ := rig(t, SetAssoc, nil)
-	dc.Read(1, 0, 1, nil)
+	dc.Read(1, 0, 1, event.Callback{})
 	eng.Run()
 	dc.ResetStats()
 	if dc.Stats().ReadReqs != 0 || dc.DRAMStats().Accesses != 0 {
 		t.Fatal("ResetStats left counters")
 	}
 	// State survives: the earlier refill still hits.
-	dc.Read(1, 0, 1, nil)
+	dc.Read(1, 0, 1, event.Callback{})
 	eng.Run()
 	if dc.Stats().ReadHits != 1 {
 		t.Fatal("ResetStats dropped tag state")

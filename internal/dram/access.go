@@ -2,7 +2,7 @@ package dram
 
 import (
 	"dcasim/internal/addrmap"
-	"dcasim/internal/simtime"
+	"dcasim/internal/event"
 )
 
 // Kind identifies what a DRAM access moves, mirroring the paper's Fig. 2
@@ -55,7 +55,8 @@ type Access struct {
 	// blacklisting scheduler.
 	App int
 
-	// Done, when non-nil, is invoked by the controller at the access's
-	// data completion time.
-	Done func(now simtime.Time)
+	// Done, when valid, is invoked by the controller at the access's
+	// data completion time. It is a handler/payload pair rather than a
+	// closure so queueing an access allocates nothing.
+	Done event.Callback
 }

@@ -1,11 +1,20 @@
 // Package event implements the discrete-event simulation kernel.
 //
-// The kernel is a binary min-heap of (time, sequence, callback) items.
-// Events scheduled for the same timestamp fire in the order they were
-// scheduled, which makes whole-simulation behaviour exactly reproducible
-// run to run. The kernel is single-threaded by design: determinism of an
-// architectural simulation is worth far more than intra-run parallelism,
-// and the harness instead parallelises across independent simulations.
+// The kernel is a 4-ary min-heap of (time, sequence) keys over a pool of
+// event records. Events scheduled for the same timestamp fire in the
+// order they were scheduled, which makes whole-simulation behaviour
+// exactly reproducible run to run. The kernel is single-threaded by
+// design: determinism of an architectural simulation is worth far more
+// than intra-run parallelism, and the harness instead parallelises
+// across independent simulations.
+//
+// Scheduling is allocation-free in steady state. Instead of a fresh
+// closure per event, an event record pairs a Handler (typically the
+// simulated component itself, a long-lived pointer) with a small inline
+// Payload the handler uses to recover the event's context. Records live
+// in a pool indexed by the heap and are recycled through a free list, so
+// once the pool, free list, and heap slices reach their high-water marks
+// the kernel performs no per-event heap allocation at all.
 package event
 
 import (
@@ -14,18 +23,87 @@ import (
 	"dcasim/internal/simtime"
 )
 
+// Handler receives fired events. Implementations are typically the
+// long-lived simulated components themselves; per-event context travels
+// in the Payload, so scheduling never needs to close over variables.
+type Handler interface {
+	OnEvent(now simtime.Time, p Payload)
+}
+
+// Payload is the inline per-event argument block. Handlers that service
+// several event kinds conventionally use a few low bits of U64 as the
+// discriminator. Ptr must hold a pointer-shaped value (a pointer, map,
+// channel, or func) — boxing a non-pointer value into it would allocate,
+// defeating the kernel's zero-allocation contract.
+type Payload struct {
+	Time simtime.Time
+	I64  int64
+	U64  uint64
+	Ptr  any
+}
+
+// Callback bundles a Handler with its Payload so components can hand a
+// continuation across module boundaries without allocating a closure.
+// The zero value is a no-op.
+type Callback struct {
+	H Handler
+	P Payload
+}
+
+// Valid reports whether the callback has a handler attached.
+func (cb Callback) Valid() bool { return cb.H != nil }
+
+// Invoke fires the callback immediately (outside the event queue). A
+// zero callback is a no-op.
+func (cb Callback) Invoke(now simtime.Time) {
+	if cb.H != nil {
+		cb.H.OnEvent(now, cb.P)
+	}
+}
+
+// funcHandler adapts a plain function to the Handler interface; the
+// function travels in Payload.Ptr, so the adapter itself is stateless
+// and boxing it allocates nothing.
+type funcHandler struct{}
+
+func (funcHandler) OnEvent(now simtime.Time, p Payload) {
+	p.Ptr.(func(simtime.Time))(now)
+}
+
+// Func wraps fn into a Callback. The wrapper is allocation-free, but fn
+// itself is usually a closure the caller allocated — use Func in tests
+// and setup paths, and a real Handler on hot paths.
+func Func(fn func(now simtime.Time)) Callback {
+	return Callback{H: funcHandler{}, P: Payload{Ptr: fn}}
+}
+
+// thunkHandler adapts an argument-less function for At/After.
+type thunkHandler struct{}
+
+func (thunkHandler) OnEvent(_ simtime.Time, p Payload) { p.Ptr.(func())() }
+
+// node is one pooled event record.
+type node struct {
+	at  simtime.Time
+	seq uint64
+	h   Handler
+	p   Payload
+}
+
 // Engine is a discrete-event scheduler. The zero value is ready to use.
 type Engine struct {
 	now   simtime.Time
 	seq   uint64
-	heap  []item
 	steps uint64
-}
 
-type item struct {
-	at  simtime.Time
-	seq uint64
-	fn  func()
+	// pool holds event records; heap orders indices into it by
+	// (time, sequence); free recycles retired indices. int32 indices
+	// halve the heap's cache footprint versus pointers and are ample:
+	// two billion simultaneously pending events would exhaust memory
+	// long before the index space.
+	pool []node
+	heap []int32
+	free []int32
 }
 
 // Now returns the current simulated time.
@@ -37,15 +115,41 @@ func (e *Engine) Steps() uint64 { return e.steps }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.heap) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics: silently reordering time would corrupt
-// every downstream model.
-func (e *Engine) At(t simtime.Time, fn func()) {
+// Schedule queues h to fire at absolute time t with payload p.
+// Scheduling in the past is a programming error and panics: silently
+// reordering time would corrupt every downstream model.
+func (e *Engine) Schedule(t simtime.Time, h Handler, p Payload) {
 	if t < e.now {
 		panic(fmt.Sprintf("event: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.push(item{at: t, seq: e.seq, fn: fn})
+	idx := e.alloc()
+	e.pool[idx] = node{at: t, seq: e.seq, h: h, p: p}
+	e.push(idx)
+}
+
+// ScheduleAfter queues h to fire d after the current time.
+func (e *Engine) ScheduleAfter(d simtime.Time, h Handler, p Payload) {
+	e.Schedule(e.now+d, h, p)
+}
+
+// CallAt queues cb to fire at absolute time t. A zero callback is
+// dropped rather than queued.
+func (e *Engine) CallAt(t simtime.Time, cb Callback) {
+	if cb.H == nil {
+		return
+	}
+	e.Schedule(t, cb.H, cb.P)
+}
+
+// CallAfter queues cb to fire d after the current time.
+func (e *Engine) CallAfter(d simtime.Time, cb Callback) { e.CallAt(e.now+d, cb) }
+
+// At schedules fn to run at absolute time t. This is the closure
+// convenience API: it is allocation-free only when fn itself is (a
+// pre-built func value); hot paths should use Schedule with a Handler.
+func (e *Engine) At(t simtime.Time, fn func()) {
+	e.Schedule(t, thunkHandler{}, Payload{Ptr: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -57,10 +161,15 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	it := e.pop()
-	e.now = it.at
+	idx := e.pop()
+	n := e.pool[idx]
+	// Release the record before dispatch: the handler may schedule new
+	// events, and reusing this slot immediately keeps the pool minimal.
+	e.pool[idx] = node{}
+	e.free = append(e.free, idx)
+	e.now = n.at
 	e.steps++
-	it.fn()
+	n.h.OnEvent(n.at, n.p)
 	return true
 }
 
@@ -73,7 +182,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t and then advances the
 // clock to t. Events scheduled beyond t stay queued.
 func (e *Engine) RunUntil(t simtime.Time) {
-	for len(e.heap) > 0 && e.heap[0].at <= t {
+	for len(e.heap) > 0 && e.pool[e.heap[0]].at <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -84,19 +193,39 @@ func (e *Engine) RunUntil(t simtime.Time) {
 // RunFor is RunUntil relative to the current time.
 func (e *Engine) RunFor(d simtime.Time) { e.RunUntil(e.now + d) }
 
-func (e *Engine) less(i, j int) bool {
-	if e.heap[i].at != e.heap[j].at {
-		return e.heap[i].at < e.heap[j].at
+// alloc returns a free pool index, growing the pool only when the free
+// list is empty (i.e. at a new high-water mark of pending events).
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
 	}
-	return e.heap[i].seq < e.heap[j].seq
+	e.pool = append(e.pool, node{})
+	return int32(len(e.pool) - 1)
 }
 
-func (e *Engine) push(it item) {
-	e.heap = append(e.heap, it)
+// less orders pool records by (time, sequence): strict total order, so
+// heap pop order is independent of the heap's internal layout.
+func (e *Engine) less(a, b int32) bool {
+	na, nb := &e.pool[a], &e.pool[b]
+	if na.at != nb.at {
+		return na.at < nb.at
+	}
+	return na.seq < nb.seq
+}
+
+// The heap is 4-ary: children of slot i live at 4i+1..4i+4. Compared to
+// a binary heap this halves the tree depth paid on every sift-up and
+// fits each node's children in one cache line of int32 indices, which
+// matters because the heap is touched twice per simulated event.
+
+func (e *Engine) push(idx int32) {
+	e.heap = append(e.heap, idx)
 	i := len(e.heap) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
+		parent := (i - 1) / 4
+		if !e.less(e.heap[i], e.heap[parent]) {
 			break
 		}
 		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
@@ -104,26 +233,33 @@ func (e *Engine) push(it item) {
 	}
 }
 
-func (e *Engine) pop() item {
-	top := e.heap[0]
-	n := len(e.heap) - 1
-	e.heap[0] = e.heap[n]
-	e.heap[n] = item{} // release the closure for GC
-	e.heap = e.heap[:n]
+func (e *Engine) pop() int32 {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	h = e.heap
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && e.less(l, smallest) {
-			smallest = l
+		first := 4*i + 1
+		if first >= n {
+			break
 		}
-		if r < n && e.less(r, smallest) {
-			smallest = r
+		smallest := i
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if e.less(h[c], h[smallest]) {
+				smallest = c
+			}
 		}
 		if smallest == i {
 			break
 		}
-		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		h[i], h[smallest] = h[smallest], h[i]
 		i = smallest
 	}
 	return top

@@ -54,10 +54,9 @@ func (m *Memory) serve() simtime.Time {
 }
 
 // Read fetches a block; done fires at the completion time.
-func (m *Memory) Read(done func(now simtime.Time)) {
+func (m *Memory) Read(done event.Callback) {
 	m.Reads++
-	at := m.serve()
-	m.eng.At(at, func() { done(at) })
+	m.eng.CallAt(m.serve(), done)
 }
 
 // Write retires a block write. It occupies the bus but completes

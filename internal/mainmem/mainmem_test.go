@@ -11,7 +11,7 @@ func TestReadLatency(t *testing.T) {
 	eng := &event.Engine{}
 	m := New(eng, DefaultConfig())
 	var done simtime.Time
-	m.Read(func(now simtime.Time) { done = now })
+	m.Read(event.Func(func(now simtime.Time) { done = now }))
 	eng.Run()
 	if done != 50*simtime.Nanosecond {
 		t.Fatalf("read completed at %v, want 50ns", done)
@@ -24,7 +24,7 @@ func TestBusSerialization(t *testing.T) {
 	m := New(eng, cfg)
 	var done []simtime.Time
 	for i := 0; i < 3; i++ {
-		m.Read(func(now simtime.Time) { done = append(done, now) })
+		m.Read(event.Func(func(now simtime.Time) { done = append(done, now) }))
 	}
 	eng.Run()
 	if len(done) != 3 {
@@ -47,7 +47,7 @@ func TestWritesConsumeBandwidth(t *testing.T) {
 	m := New(eng, cfg)
 	m.Write()
 	var done simtime.Time
-	m.Read(func(now simtime.Time) { done = now })
+	m.Read(event.Func(func(now simtime.Time) { done = now }))
 	eng.Run()
 	if done != cfg.BlockTime+cfg.Latency {
 		t.Fatalf("read after write completed at %v, want %v", done, cfg.BlockTime+cfg.Latency)
