@@ -3,10 +3,13 @@
 #   make            - build + vet + test (what CI runs per PR)
 #   make bench-short - one pass over the substrate microbenchmarks and
 #                      one small figure benchmark, with allocation stats
+#   make bench-json  - run the scheduler-sensitive benchmarks (Fig8,
+#                      SimOneRun, ChannelIssue) with -benchmem and emit
+#                      BENCH_controller.json (archived by CI per PR)
 
 GO ?= go
 
-.PHONY: all build vet test bench-short ci
+.PHONY: all build vet test bench-short bench-json ci
 
 all: ci
 
@@ -25,5 +28,20 @@ test:
 bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkEventEngine|BenchmarkChannelIssue|BenchmarkWorkloadGen' -benchmem -benchtime 0.2s .
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8$$|BenchmarkSimOneRun' -benchmem -benchtime 1x .
+
+# Controller perf trajectory: the three benchmarks the scheduler rework
+# targets, emitted as JSON so CI diffs are machine-readable. Fig8 runs few
+# iterations (it is a whole-evaluation sweep); the cheaper benchmarks run
+# more for stability.
+# Each run appends to a scratch file and failures abort the target (no
+# pipeline, so a failing benchmark cannot hide behind benchjson's exit).
+bench-json:
+	@rm -f bench_controller.out
+	$(GO) test -run '^$$' -bench 'BenchmarkFig8$$' -benchmem -benchtime 2x . >> bench_controller.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSimOneRun$$' -benchmem -benchtime 20x . >> bench_controller.out
+	$(GO) test -run '^$$' -bench 'BenchmarkChannelIssue$$' -benchmem -benchtime 0.2s . >> bench_controller.out
+	$(GO) run ./cmd/benchjson < bench_controller.out > BENCH_controller.json
+	@rm -f bench_controller.out
+	@cat BENCH_controller.json
 
 ci: build vet test

@@ -13,7 +13,10 @@
 // scattering same-bank conflicting rows across banks.
 package addrmap
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Geometry describes a stacked-DRAM array.
 type Geometry struct {
@@ -71,14 +74,34 @@ func (m Mapper) Map(idx int64) Loc {
 	}
 	g := m.Geom
 	bpr := int64(g.BlocksPerRow())
-	col := idx % bpr
-	idx /= bpr
-	ch := idx % int64(g.Channels)
-	idx /= int64(g.Channels)
-	rank := idx % int64(g.Ranks)
-	idx /= int64(g.Ranks)
-	bank := idx % int64(g.Banks)
-	row := idx / int64(g.Banks)
+	var col, ch, rank, bank, row int64
+	if bpr > 0 && bpr&(bpr-1) == 0 &&
+		g.Channels&(g.Channels-1) == 0 && g.Ranks&(g.Ranks-1) == 0 && g.Banks&(g.Banks-1) == 0 {
+		// Channels/ranks/banks are powers of two by validation; when the
+		// row holds a power-of-two block count as well (the usual 4 KB /
+		// 64 B shape), the whole decode is shifts and masks instead of
+		// eight int64 divides. idx is non-negative, so unsigned shifts
+		// are exact.
+		u := uint64(idx)
+		s := uint(bits.TrailingZeros64(uint64(bpr)))
+		col = int64(u & uint64(bpr-1))
+		u >>= s
+		ch = int64(u & uint64(g.Channels-1))
+		u >>= uint(bits.TrailingZeros64(uint64(g.Channels)))
+		rank = int64(u & uint64(g.Ranks-1))
+		u >>= uint(bits.TrailingZeros64(uint64(g.Ranks)))
+		bank = int64(u & uint64(g.Banks-1))
+		row = int64(u >> uint(bits.TrailingZeros64(uint64(g.Banks))))
+	} else {
+		col = idx % bpr
+		idx /= bpr
+		ch = idx % int64(g.Channels)
+		idx /= int64(g.Channels)
+		rank = idx % int64(g.Ranks)
+		idx /= int64(g.Ranks)
+		bank = idx % int64(g.Banks)
+		row = idx / int64(g.Banks)
+	}
 	if m.XORRemap {
 		// Permutation-based interleaving: XOR the bank index with the
 		// low log2(banks) bits of the row index. Rows that would

@@ -4,7 +4,10 @@
 // charged by the CPU model, which is where timing lives.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Cache is a set-associative, write-back, write-allocate cache with LRU
 // replacement over block addresses (physical address >> log2(block)).
@@ -12,15 +15,33 @@ type Cache struct {
 	sets int64
 	ways int
 
-	tag   []int64
-	valid []bool
-	dirty []bool
-	lru   []uint32
+	// Power-of-two set counts (the common case) split addresses with a
+	// mask and shift instead of the int64 div/mod pair, which dominates
+	// the cost of small-way accesses.
+	setsPow2 bool
+	setMask  int64
+	setShift uint
+
+	// lines packs each way's tag, LRU stamp, and dirty bit into one
+	// 16-byte record so a set's state is contiguous (a two-way L1 set is
+	// a single CPU cache line; a 16-way L2 set is four sequential ones).
+	// emptyTag marks an invalid way.
+	lines []line
 	tick  uint32
 
 	Hits   int64
 	Misses int64
 }
+
+type line struct {
+	tag   int64
+	lru   uint32
+	dirty bool
+}
+
+// emptyTag marks an invalid way. Real tags are block addresses divided by
+// the set count and therefore non-negative.
+const emptyTag = int64(-1)
 
 // New builds a cache of the given total size. sizeBytes must be a
 // multiple of blockBytes*ways.
@@ -34,14 +55,28 @@ func New(sizeBytes int64, blockBytes, ways int) (*Cache, error) {
 	}
 	sets := blocks / int64(ways)
 	n := sets * int64(ways)
-	return &Cache{
+	c := &Cache{
 		sets:  sets,
 		ways:  ways,
-		tag:   make([]int64, n),
-		valid: make([]bool, n),
-		dirty: make([]bool, n),
-		lru:   make([]uint32, n),
-	}, nil
+		lines: make([]line, n),
+	}
+	for i := range c.lines {
+		c.lines[i].tag = emptyTag
+	}
+	if sets&(sets-1) == 0 {
+		c.setsPow2 = true
+		c.setMask = sets - 1
+		c.setShift = uint(bits.TrailingZeros64(uint64(sets)))
+	}
+	return c, nil
+}
+
+// split maps a block address to its (set, tag) pair.
+func (c *Cache) split(blockAddr int64) (set, tag int64) {
+	if c.setsPow2 {
+		return blockAddr & c.setMask, blockAddr >> c.setShift
+	}
+	return blockAddr % c.sets, blockAddr / c.sets
 }
 
 // Sets returns the number of sets.
@@ -53,11 +88,10 @@ func (c *Cache) Ways() int { return c.ways }
 func (c *Cache) idx(set int64, way int) int64 { return set*int64(c.ways) + int64(way) }
 
 func (c *Cache) find(blockAddr int64) (set int64, way int) {
-	set = blockAddr % c.sets
-	t := blockAddr / c.sets
+	set, t := c.split(blockAddr)
+	base := set * int64(c.ways)
 	for w := 0; w < c.ways; w++ {
-		i := c.idx(set, w)
-		if c.valid[i] && c.tag[i] == t {
+		if c.lines[base+int64(w)].tag == t {
 			return set, w
 		}
 	}
@@ -74,52 +108,69 @@ type Result struct {
 
 // Access performs a load (write=false) or store (write=true) with
 // allocate-on-miss semantics and returns the displaced victim, if any.
-// Hit detection and victim selection share a single way scan: this is
-// the hottest loop of the whole simulator (every warm-up operation and
-// every timed memory operation passes through it).
+// This is the hottest loop of the whole simulator (every warm-up
+// operation and every timed memory operation passes through it): the hit
+// scan touches only the tag words, and the victim scan runs only on a
+// miss.
 func (c *Cache) Access(blockAddr int64, write bool) Result {
-	set := blockAddr % c.sets
-	tg := blockAddr / c.sets
-	base := set * int64(c.ways)
+	set, tg := c.split(blockAddr)
+	ws := c.lines[set*int64(c.ways) : (set+1)*int64(c.ways)]
 	c.tick++
-	victim, invalid := -1, -1
-	var oldest uint32
-	for w := 0; w < c.ways; w++ {
-		i := base + int64(w)
-		if !c.valid[i] {
-			if invalid < 0 {
-				invalid = w
-			}
-			continue
-		}
-		if c.tag[i] == tg {
+	for w := range ws {
+		l := &ws[w]
+		if l.tag == tg {
 			c.Hits++
-			c.lru[i] = c.tick
+			l.lru = c.tick
 			if write {
-				c.dirty[i] = true
+				l.dirty = true
 			}
 			return Result{Hit: true}
 		}
-		if victim < 0 || c.lru[i] < oldest {
-			victim, oldest = w, c.lru[i]
-		}
 	}
 	c.Misses++
-	if invalid >= 0 {
-		victim = invalid
+	victim := -1
+	var oldest uint32
+	for w := range ws {
+		l := &ws[w]
+		if l.tag == emptyTag {
+			victim = w
+			break
+		}
+		if victim < 0 || l.lru < oldest {
+			victim, oldest = w, l.lru
+		}
 	}
-	i := base + int64(victim)
+	l := &ws[victim]
 	res := Result{}
-	if c.valid[i] {
-		res.VictimAddr = c.tag[i]*c.sets + set
+	if l.tag != emptyTag {
+		res.VictimAddr = l.tag*c.sets + set
 		res.VictimValid = true
-		res.VictimDirty = c.dirty[i]
+		res.VictimDirty = l.dirty
 	}
-	c.tag[i] = tg
-	c.valid[i] = true
-	c.dirty[i] = write
-	c.lru[i] = c.tick
+	l.tag = tg
+	l.dirty = write
+	l.lru = c.tick
 	return res
+}
+
+// Touch performs a read-hit check in a single way scan: on a hit it
+// counts the hit and refreshes LRU state, exactly as Access would; on a
+// miss it changes nothing and counts nothing (allocation — and the miss
+// count — happen later, when the caller installs the fill). It exists so
+// no-allocate-on-miss callers don't pay a Probe scan plus an Access scan.
+func (c *Cache) Touch(blockAddr int64) bool {
+	set, tg := c.split(blockAddr)
+	ws := c.lines[set*int64(c.ways) : (set+1)*int64(c.ways)]
+	for w := range ws {
+		l := &ws[w]
+		if l.tag == tg {
+			c.Hits++
+			c.tick++
+			l.lru = c.tick
+			return true
+		}
+	}
+	return false
 }
 
 // Probe reports presence without changing any state.
@@ -128,7 +179,7 @@ func (c *Cache) Probe(blockAddr int64) (present, dirty bool) {
 	if way < 0 {
 		return false, false
 	}
-	return true, c.dirty[c.idx(set, way)]
+	return true, c.lines[c.idx(set, way)].dirty
 }
 
 // Clean clears the dirty bit of blockAddr if present, returning whether
@@ -139,9 +190,9 @@ func (c *Cache) Clean(blockAddr int64) bool {
 	if way < 0 {
 		return false
 	}
-	i := c.idx(set, way)
-	was := c.dirty[i]
-	c.dirty[i] = false
+	l := &c.lines[c.idx(set, way)]
+	was := l.dirty
+	l.dirty = false
 	return was
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"dcasim/internal/addrmap"
@@ -103,16 +104,35 @@ func TestQueueRouting(t *testing.T) {
 	}
 }
 
+// readQueueEntries collects the architected read queue in arrival (seq)
+// order by walking the per-bank index.
+func readQueueEntries(c *Controller) []*Entry {
+	var out []*Entry
+	for gb := range c.rq.banks {
+		for lane := 0; lane < laneCount; lane++ {
+			for e := c.rq.banks[gb][lane].mainHead; e != nil; e = e.bNext {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
 func TestPRLRClassification(t *testing.T) {
 	_, _, ctrl := testRig(DCA)
 	ctrl.busy = true
 	ctrl.Enqueue(acc(dram.ReadTag, 0, 0, nil), ReadReq)
 	ctrl.Enqueue(acc(dram.ReadTag, 1, 0, nil), WritebackReq)
 	ctrl.Enqueue(acc(dram.ReadTag, 2, 0, nil), RefillReq)
-	if !ctrl.readQ[0].PriorityRead() {
+	rq := readQueueEntries(ctrl)
+	if len(rq) != 3 {
+		t.Fatalf("read queue depth %d, want 3", len(rq))
+	}
+	if !rq[0].PriorityRead() {
 		t.Error("read-request tag read must be a PR")
 	}
-	if ctrl.readQ[1].PriorityRead() || ctrl.readQ[2].PriorityRead() {
+	if rq[1].PriorityRead() || rq[2].PriorityRead() {
 		t.Error("writeback/refill tag reads must be LRs")
 	}
 }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dcasim/internal/addrmap"
+	"dcasim/internal/dram"
+	"dcasim/internal/event"
+	"dcasim/internal/rng"
+	"dcasim/internal/simtime"
+)
+
+// issueRecord is one scheduling decision: which entry (by enqueue seq)
+// was issued, when, and through which path.
+type issueRecord struct {
+	seq      uint64
+	now      simtime.Time
+	fromRead bool
+	viaOFS   bool
+}
+
+func (r issueRecord) String() string {
+	return fmt.Sprintf("{seq %d @%v read=%v ofs=%v}", r.seq, r.now, r.fromRead, r.viaOFS)
+}
+
+// diffTraffic is a reproducible random access stream. Both controllers
+// must receive identical streams, so it is generated once per seed.
+type diffOp struct {
+	acc dram.Access
+	req RequestType
+}
+
+func makeTraffic(seed uint64, n, apps int) []diffOp {
+	r := rng.New(seed)
+	kinds := []dram.Kind{dram.ReadTag, dram.ReadData, dram.WriteTag, dram.WriteData}
+	reqs := []RequestType{ReadReq, WritebackReq, RefillReq}
+	ops := make([]diffOp, n)
+	for i := range ops {
+		// Concentrate on four apps so BLISS streaks (and blacklisting)
+		// actually occur, but with many apps also sprinkle high ids to
+		// exercise the >64-app fallback paths.
+		app := r.Intn(4)
+		if apps > 4 && r.Intn(4) == 0 {
+			app = apps - 1 - r.Intn(4)
+		}
+		ops[i] = diffOp{
+			acc: dram.Access{
+				Kind:  kinds[r.Intn(len(kinds))],
+				Loc:   addrmap.Loc{Bank: r.Intn(8), Row: int64(r.Intn(16)), Col: r.Intn(64)},
+				Bytes: 64,
+				App:   app,
+			},
+			req: reqs[r.Intn(len(reqs))],
+		}
+	}
+	return ops
+}
+
+// TestDifferentialSchedule replays randomized enqueue/complete sequences
+// through the reference linear-scan controller and the indexed scheduler
+// and asserts the (time, seq, path) issue sequences are identical, for
+// all three designs and all three base algorithms. Small queue capacities
+// force the spill, drain, ScheduleAll, and OFS paths; the tight row space
+// forces hits, conflicts, and blacklisting streaks.
+func TestDifferentialSchedule(t *testing.T) {
+	for _, design := range []Design{CD, ROD, DCA} {
+		for _, alg := range []Algorithm{AlgBLISS, AlgFRFCFS, AlgFCFS} {
+			t.Run(fmt.Sprintf("%v-%v", design, alg), func(t *testing.T) {
+				for seed := uint64(1); seed <= 8; seed++ {
+					runDifferential(t, design, alg, seed, 4)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialScheduleManyApps covers the >64-application fallback,
+// where the blacklist bitmask snapshot cannot represent every app and the
+// controller reverts to per-app BLISS queries during skip scans.
+func TestDifferentialScheduleManyApps(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		runDifferential(t, DCA, AlgBLISS, seed, 80)
+		runDifferential(t, CD, AlgBLISS, seed, 80)
+	}
+}
+
+func runDifferential(t *testing.T, design Design, alg Algorithm, seed uint64, apps int) {
+	t.Helper()
+	cfg := DefaultConfig(design)
+	cfg.Algorithm = alg
+	cfg.ReadQueueCap = 6
+	cfg.WriteQueueCap = 6
+
+	ops := makeTraffic(seed, 400, apps)
+
+	var gotNew, gotRef []issueRecord
+
+	engN := &event.Engine{}
+	chN := dram.NewChannel(dram.StackedDRAM(), testGeom())
+	ctrlN := NewController(engN, chN, cfg, apps)
+	ctrlN.onIssue = func(e *Entry, now simtime.Time, fromRead, viaOFS bool) {
+		gotNew = append(gotNew, issueRecord{e.seq, now, fromRead, viaOFS})
+	}
+
+	engR := &event.Engine{}
+	chR := dram.NewChannel(dram.StackedDRAM(), testGeom())
+	ctrlR := newRefController(engR, chR, cfg, apps)
+	ctrlR.onIssue = func(e *refEntry, now simtime.Time, fromRead, viaOFS bool) {
+		gotRef = append(gotRef, issueRecord{e.seq, now, fromRead, viaOFS})
+	}
+
+	for i, op := range ops {
+		ctrlN.Enqueue(op.acc, op.req)
+		ctrlR.Enqueue(op.acc, op.req)
+		// Let both engines make progress between bursts so completions
+		// interleave with arrivals.
+		if i%8 == 7 {
+			engN.Run()
+			engR.Run()
+		}
+	}
+	engN.Run()
+	engR.Run()
+
+	if len(gotNew) != len(gotRef) {
+		t.Fatalf("%v/%v seed %d: issued %d vs reference %d", design, alg, seed, len(gotNew), len(gotRef))
+	}
+	for i := range gotNew {
+		if gotNew[i] != gotRef[i] {
+			t.Fatalf("%v/%v seed %d: pick %d diverged: indexed %v, reference %v",
+				design, alg, seed, i, gotNew[i], gotRef[i])
+		}
+	}
+	// The lazy RRPC epoch scheme must be bit-identical to the eager walk.
+	for b := 0; b < chN.Banks(); b++ {
+		if got, want := ctrlN.RRPC(b), ctrlR.rrpc[b]; got != want {
+			t.Fatalf("%v/%v seed %d: RRPC[%d] = %d, reference %d", design, alg, seed, b, got, want)
+		}
+	}
+	// Residual queue state must agree too (held LRs, undrained writes).
+	nr, nw := ctrlN.QueueDepths()
+	if nr != len(ctrlR.readQ) || nw != len(ctrlR.writeQ) {
+		t.Fatalf("%v/%v seed %d: residual depths (%d,%d) vs reference (%d,%d)",
+			design, alg, seed, nr, nw, len(ctrlR.readQ), len(ctrlR.writeQ))
+	}
+	if ctrlN.Stats() != ctrlR.stats {
+		t.Fatalf("%v/%v seed %d: stats diverged:\nindexed   %+v\nreference %+v",
+			design, alg, seed, ctrlN.Stats(), ctrlR.stats)
+	}
+}
+
+// TestLazyRRPCMatchesEagerWalk drives the decay directly with random
+// touch sequences and checks the derived counters against the eager
+// all-banks walk after every step.
+func TestLazyRRPCMatchesEagerWalk(t *testing.T) {
+	_, ch, ctrl := testRig(DCA)
+	eager := make([]uint8, ch.Banks())
+	r := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		bank := r.Intn(ch.Banks())
+		ctrl.touchRRPC(bank)
+		for j := range eager {
+			if eager[j] > 0 {
+				eager[j]--
+			}
+		}
+		eager[bank] = 7
+		if i%7 != 0 {
+			continue
+		}
+		for j := range eager {
+			if got := ctrl.RRPC(j); got != eager[j] {
+				t.Fatalf("step %d: RRPC[%d] = %d, eager %d", i, j, got, eager[j])
+			}
+		}
+	}
+}
+
+// TestSpillQueueDoesNotPinConsumedPrefix exercises the spill ring: the
+// consumed prefix must be cleared and the buffer compacted, so sustained
+// spill traffic cannot grow the backing array without bound.
+func TestSpillQueueDoesNotPinConsumedPrefix(t *testing.T) {
+	var s spillQueue
+	for i := 0; i < 10_000; i++ {
+		s.push(&Entry{seq: uint64(i)})
+		if i%2 == 1 { // drain at half rate, then catch up
+			if e := s.pop(); e.seq != uint64(i/2) {
+				t.Fatalf("pop %d returned seq %d", i/2, e.seq)
+			}
+		}
+	}
+	for s.len() > 0 {
+		s.pop()
+	}
+	if len(s.buf) != 0 || s.head != 0 {
+		t.Fatalf("drained spill retains buf len %d head %d", len(s.buf), s.head)
+	}
+	// Push/pop in lockstep on a fresh queue: with at most one entry
+	// outstanding, the backing array must not grow at all.
+	var lk spillQueue
+	for i := 0; i < 10_000; i++ {
+		lk.push(&Entry{})
+		lk.pop()
+	}
+	if cap(lk.buf) > 64 {
+		t.Fatalf("lockstep spill grew backing array to %d", cap(lk.buf))
+	}
+}

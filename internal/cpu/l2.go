@@ -63,9 +63,7 @@ func (l *L2) getWaiters() []event.Callback {
 // available to the core.
 func (l *L2) Read(addr int64, coreID int, pc uint64, done event.Callback) {
 	l.Reads++
-	present, _ := l.arr.Probe(addr)
-	if present {
-		l.arr.Access(addr, false) // refresh LRU
+	if l.arr.Touch(addr) { // hit: LRU refreshed in the same scan
 		l.eng.CallAfter(l.hitLat, done)
 		return
 	}
@@ -143,9 +141,7 @@ func (l *L2) leeDrain(victim int64, coreID int) {
 
 // WarmRead is the functional warm-up read path.
 func (l *L2) WarmRead(addr int64, coreID int, pc uint64) {
-	present, _ := l.arr.Probe(addr)
-	if present {
-		l.arr.Access(addr, false)
+	if l.arr.Touch(addr) {
 		return
 	}
 	l.dc.WarmRead(addr, coreID, pc)

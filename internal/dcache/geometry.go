@@ -11,6 +11,7 @@ package dcache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dcasim/internal/addrmap"
 )
@@ -59,6 +60,12 @@ type Geometry struct {
 	Sets      int64 // cache sets (DM: one block per set)
 	Ways      int
 	DRAM      addrmap.Geometry
+
+	// Power-of-two set counts (the set-associative organization always;
+	// direct-mapped never, 56 TADs per row) split addresses with a mask
+	// and shift instead of the div/mod pair on the warm-up fast path.
+	setsPow2 bool
+	setShift uint
 }
 
 // NewGeometry derives a geometry from the stacked-DRAM shape. The DRAM
@@ -86,6 +93,10 @@ func NewGeometry(org Org, sizeBytes int64, dram addrmap.Geometry) (Geometry, err
 	default:
 		return Geometry{}, fmt.Errorf("dcache: unknown org %d", int(org))
 	}
+	if g.Sets&(g.Sets-1) == 0 {
+		g.setsPow2 = true
+		g.setShift = uint(bits.TrailingZeros64(uint64(g.Sets)))
+	}
 	return g, nil
 }
 
@@ -94,18 +105,26 @@ func NewGeometry(org Org, sizeBytes int64, dram addrmap.Geometry) (Geometry, err
 func (g Geometry) DataCapacity() int64 { return g.Sets * int64(g.Ways) * BlockBytes }
 
 // SetOf maps a physical block address (block number) to its set.
-func (g Geometry) SetOf(blockAddr int64) int64 {
+func (g *Geometry) SetOf(blockAddr int64) int64 {
 	if blockAddr < 0 {
 		panic(fmt.Sprintf("dcache: negative block address %d", blockAddr))
+	}
+	if g.setsPow2 {
+		return blockAddr & (g.Sets - 1)
 	}
 	return blockAddr % g.Sets
 }
 
 // TagOf returns the tag stored for blockAddr.
-func (g Geometry) TagOf(blockAddr int64) int64 { return blockAddr / g.Sets }
+func (g *Geometry) TagOf(blockAddr int64) int64 {
+	if g.setsPow2 {
+		return blockAddr >> g.setShift
+	}
+	return blockAddr / g.Sets
+}
 
 // rowOf returns the DRAM row (linear row index) holding a set.
-func (g Geometry) rowOf(set int64) int64 {
+func (g *Geometry) rowOf(set int64) int64 {
 	if g.Org == SetAssoc {
 		return set / saSetsPerRow
 	}
@@ -115,7 +134,7 @@ func (g Geometry) rowOf(set int64) int64 {
 // TagLoc returns the DRAM location of the tag block for a set. For the
 // direct-mapped design this is the TAD slot itself (the probe reads the
 // whole TAD).
-func (g Geometry) TagLoc(set int64, m addrmap.Mapper) addrmap.Loc {
+func (g *Geometry) TagLoc(set int64, m addrmap.Mapper) addrmap.Loc {
 	row := g.rowOf(set)
 	blocksPerRow := int64(g.DRAM.BlocksPerRow())
 	var col int64
@@ -130,7 +149,7 @@ func (g Geometry) TagLoc(set int64, m addrmap.Mapper) addrmap.Loc {
 // DataLoc returns the DRAM location of a data block (set, way). Only
 // meaningful for the set-associative organization; the direct-mapped
 // design reads data together with the tag.
-func (g Geometry) DataLoc(set int64, way int, m addrmap.Mapper) addrmap.Loc {
+func (g *Geometry) DataLoc(set int64, way int, m addrmap.Mapper) addrmap.Loc {
 	if g.Org != SetAssoc {
 		return g.TagLoc(set, m)
 	}
@@ -142,7 +161,7 @@ func (g Geometry) DataLoc(set int64, way int, m addrmap.Mapper) addrmap.Loc {
 
 // TagBlockIndex returns a dense identifier of the tag block holding a
 // set's tags, the unit cached by the SRAM tag cache.
-func (g Geometry) TagBlockIndex(set int64) int64 {
+func (g *Geometry) TagBlockIndex(set int64) int64 {
 	if g.Org == SetAssoc {
 		return set // one tag block per set
 	}
@@ -151,7 +170,7 @@ func (g Geometry) TagBlockIndex(set int64) int64 {
 
 // TagRowSiblings returns the tag-block indices sharing the DRAM row of
 // set, used by the tag cache's spatial prefetch.
-func (g Geometry) TagRowSiblings(set int64) []int64 {
+func (g *Geometry) TagRowSiblings(set int64) []int64 {
 	if g.Org != SetAssoc {
 		return nil
 	}

@@ -6,27 +6,32 @@ package dcache
 // when the corresponding tag accesses complete.
 type tagStore struct {
 	geom Geometry
-	// Flat arrays indexed by set*ways+way. tag is the block tag;
-	// meta packs validity and dirtiness; lru is a per-set stamp.
+	// Flat arrays indexed by set*ways+way. tag is the block tag, with
+	// emptyTag marking an invalid way so the 15-way hit scan touches
+	// only two cache lines of tag words; lru and dirty live separately
+	// and are loaded only on the miss (victim) path or on a hit way.
 	tag  []int64
-	meta []uint8
+	dbit []bool
 	lru  []uint32
 	tick uint32
 }
 
-const (
-	metaValid uint8 = 1 << 0
-	metaDirty uint8 = 1 << 1
-)
+// emptyTag marks an invalid way. Real tags are block addresses divided by
+// the set count and therefore non-negative.
+const emptyTag = int64(-1)
 
 func newTagStore(g Geometry) *tagStore {
 	n := g.Sets * int64(g.Ways)
-	return &tagStore{
+	t := &tagStore{
 		geom: g,
 		tag:  make([]int64, n),
-		meta: make([]uint8, n),
+		dbit: make([]bool, n),
 		lru:  make([]uint32, n),
 	}
+	for i := range t.tag {
+		t.tag[i] = emptyTag
+	}
+	return t
 }
 
 func (t *tagStore) idx(set int64, way int) int64 { return set*int64(t.geom.Ways) + int64(way) }
@@ -35,42 +40,40 @@ func (t *tagStore) idx(set int64, way int) int64 { return set*int64(t.geom.Ways)
 func (t *tagStore) lookup(blockAddr int64) (set int64, way int) {
 	set = t.geom.SetOf(blockAddr)
 	want := t.geom.TagOf(blockAddr)
+	base := set * int64(t.geom.Ways)
 	for w := 0; w < t.geom.Ways; w++ {
-		i := t.idx(set, w)
-		if t.meta[i]&metaValid != 0 && t.tag[i] == want {
+		if t.tag[base+int64(w)] == want {
 			return set, w
 		}
 	}
 	return set, -1
 }
 
-// lookupOrVictim combines lookup and victim selection in one way scan
-// for the warm-up fast path: way is -1 on a miss, in which case victim
-// is the way to replace (an invalid way if one exists, else LRU).
+// lookupOrVictim combines lookup and victim selection for the warm-up
+// fast path: way is -1 on a miss, in which case victim is the way to
+// replace (the first invalid way if one exists, else LRU). The hit scan
+// runs first and touches only the tag words; the victim scan runs only
+// on a miss.
 func (t *tagStore) lookupOrVictim(blockAddr int64) (set int64, way, victim int) {
 	set = t.geom.SetOf(blockAddr)
 	want := t.geom.TagOf(blockAddr)
 	base := set * int64(t.geom.Ways)
+	for w := 0; w < t.geom.Ways; w++ {
+		if t.tag[base+int64(w)] == want {
+			return set, w, -1
+		}
+	}
 	victim = -1
-	invalid := -1
 	var oldest uint32
 	for w := 0; w < t.geom.Ways; w++ {
 		i := base + int64(w)
-		if t.meta[i]&metaValid == 0 {
-			if invalid < 0 {
-				invalid = w
-			}
-			continue
-		}
-		if t.tag[i] == want {
-			return set, w, -1
+		if t.tag[i] == emptyTag {
+			victim = w
+			break
 		}
 		if victim < 0 || t.lru[i] < oldest {
 			victim, oldest = w, t.lru[i]
 		}
-	}
-	if invalid >= 0 {
-		victim = invalid
 	}
 	return set, -1, victim
 }
@@ -83,12 +86,12 @@ func (t *tagStore) touch(set int64, way int) {
 
 // dirty returns whether (set, way) holds a dirty block.
 func (t *tagStore) dirty(set int64, way int) bool {
-	return t.meta[t.idx(set, way)]&metaDirty != 0
+	return t.dbit[t.idx(set, way)]
 }
 
 // setDirty marks (set, way) dirty.
 func (t *tagStore) setDirty(set int64, way int) {
-	t.meta[t.idx(set, way)] |= metaDirty
+	t.dbit[t.idx(set, way)] = true
 }
 
 // victim selects the replacement way in set: an invalid way if one
@@ -98,7 +101,7 @@ func (t *tagStore) victim(set int64) int {
 	first := true
 	for w := 0; w < t.geom.Ways; w++ {
 		i := t.idx(set, w)
-		if t.meta[i]&metaValid == 0 {
+		if t.tag[i] == emptyTag {
 			return w
 		}
 		if first || t.lru[i] < oldest {
@@ -111,10 +114,10 @@ func (t *tagStore) victim(set int64) int {
 // victimInfo reports the block currently in (set, way).
 func (t *tagStore) victimInfo(set int64, way int) (blockAddr int64, valid, dirty bool) {
 	i := t.idx(set, way)
-	if t.meta[i]&metaValid == 0 {
+	if t.tag[i] == emptyTag {
 		return 0, false, false
 	}
-	return t.tag[i]*t.geom.Sets + set, true, t.meta[i]&metaDirty != 0
+	return t.tag[i]*t.geom.Sets + set, true, t.dbit[i]
 }
 
 // install places blockAddr into (set, way), replacing the previous
@@ -122,10 +125,7 @@ func (t *tagStore) victimInfo(set int64, way int) (blockAddr int64, valid, dirty
 func (t *tagStore) install(blockAddr int64, set int64, way int, dirty bool) {
 	i := t.idx(set, way)
 	t.tag[i] = t.geom.TagOf(blockAddr)
-	t.meta[i] = metaValid
-	if dirty {
-		t.meta[i] |= metaDirty
-	}
+	t.dbit[i] = dirty
 	t.tick++
 	t.lru[i] = t.tick
 }

@@ -58,6 +58,14 @@ type Channel struct {
 	lastReadEnd  simtime.Time
 	lastWriteEnd simtime.Time
 
+	// rowGen counts open-row changes (activates) across all banks, and
+	// rowListener, when set, is invoked with the bank and its new open
+	// row on every such change. Together they let a scheduler maintain
+	// incremental row-hit state instead of re-Peeking every queued entry
+	// on every scheduling slot.
+	rowGen      uint64
+	rowListener func(gb int, row int64)
+
 	stats Stats
 }
 
@@ -80,9 +88,14 @@ func (c *Channel) Timing() Timing { return c.timing }
 // Peek reports the row-buffer state the given location would encounter,
 // without modifying anything.
 func (c *Channel) Peek(l addrmap.Loc) RowState {
-	b := &c.banks[l.GlobalBank(c.geom)]
-	switch b.openRow {
-	case l.Row:
+	return c.PeekBank(l.GlobalBank(c.geom), l.Row)
+}
+
+// PeekBank is the fast path of Peek for callers that already decoded the
+// location's dense global bank index: no address math is repeated.
+func (c *Channel) PeekBank(gb int, row int64) RowState {
+	switch c.banks[gb].openRow {
+	case row:
 		return RowHit
 	case -1:
 		return RowClosed
@@ -90,6 +103,16 @@ func (c *Channel) Peek(l addrmap.Loc) RowState {
 		return RowConflict
 	}
 }
+
+// RowGen returns a generation counter incremented on every open-row
+// change of any bank. Observers compare generations to decide whether
+// cached row-dependent state is still valid.
+func (c *Channel) RowGen() uint64 { return c.rowGen }
+
+// SetRowListener registers fn to be called whenever an activate changes a
+// bank's open row, with the bank's dense index and the newly opened row.
+// At most one listener is supported (one controller owns each channel).
+func (c *Channel) SetRowListener(fn func(gb int, row int64)) { c.rowListener = fn }
 
 // OpenRow returns the row currently open in global bank gb, or -1.
 func (c *Channel) OpenRow(gb int) int64 { return c.banks[gb].openRow }
@@ -118,7 +141,7 @@ func (c *Channel) Issue(a *Access, now simtime.Time) simtime.Time {
 	gb := a.Loc.GlobalBank(c.geom)
 	b := &c.banks[gb]
 
-	state := c.Peek(a.Loc)
+	state := c.PeekBank(gb, a.Loc.Row)
 	cmd := now
 
 	// Row preparation on the critical path.
@@ -135,6 +158,10 @@ func (c *Channel) Issue(a *Access, now simtime.Time) simtime.Time {
 		// tRC-style back-to-back activate spacing approximated by
 		// tRAS + tRP from this activate.
 		b.actOK = act + t.TRAS + t.TRP
+		c.rowGen++
+		if c.rowListener != nil {
+			c.rowListener(gb, a.Loc.Row)
+		}
 	}
 
 	// CAS issue, honouring bus-turnaround constraints.

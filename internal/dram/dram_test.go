@@ -211,3 +211,50 @@ func TestKindClassification(t *testing.T) {
 		t.Error("data kinds classified as tag accesses")
 	}
 }
+
+// TestRowChangeNotification: the listener fires exactly on activates
+// (closed-row and conflict accesses), with the bank's dense index and the
+// newly opened row; row hits are silent. RowGen counts the same events.
+func TestRowChangeNotification(t *testing.T) {
+	ch := NewChannel(StackedDRAM(), geom())
+	type change struct {
+		gb  int
+		row int64
+	}
+	var got []change
+	ch.SetRowListener(func(gb int, row int64) { got = append(got, change{gb, row}) })
+
+	end := ch.Issue(read(3, 5, 0), 0)  // closed -> activate row 5
+	end = ch.Issue(read(3, 5, 1), end) // row hit -> silent
+	end = ch.Issue(read(3, 9, 0), end) // conflict -> activate row 9
+	_ = ch.Issue(read(7, 2, 0), end)   // other bank activate
+	want := []change{{3, 5}, {3, 9}, {7, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("listener fired %d times, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("notification %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if ch.RowGen() != 3 {
+		t.Fatalf("RowGen = %d after 3 activates", ch.RowGen())
+	}
+}
+
+// TestPeekBankMatchesPeek: the pre-decoded fast path must agree with the
+// address-decoding Peek in every row-buffer state.
+func TestPeekBankMatchesPeek(t *testing.T) {
+	ch := NewChannel(StackedDRAM(), geom())
+	_ = ch.Issue(read(2, 4, 0), 0)
+	locs := []addrmap.Loc{
+		{Bank: 2, Row: 4}, // hit
+		{Bank: 2, Row: 6}, // conflict
+		{Bank: 5, Row: 1}, // closed
+	}
+	for _, l := range locs {
+		if got, want := ch.PeekBank(ch.GlobalBank(l), l.Row), ch.Peek(l); got != want {
+			t.Fatalf("PeekBank(%+v) = %v, Peek = %v", l, got, want)
+		}
+	}
+}

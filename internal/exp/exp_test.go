@@ -2,6 +2,7 @@ package exp
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"dcasim/internal/config"
@@ -134,5 +135,48 @@ func TestAloneIPCMemoized(t *testing.T) {
 	}
 	if len(r.alone) != n {
 		t.Fatal("ensureAlone recomputed cached entries")
+	}
+}
+
+// TestAloneIPCSingleflight hammers the same alone keys from many
+// goroutines at once and asserts every simulation ran exactly once: the
+// in-flight guard must close the check-then-compute window that used to
+// let two drivers duplicate a full run.
+func TestAloneIPCSingleflight(t *testing.T) {
+	r := testRunner(t, 1)
+	mix := r.Mixes()[0]
+	keys := make(map[aloneKey]bool)
+	for _, b := range mix.Benchmarks {
+		keys[aloneKey{bench: b, org: dcache.SetAssoc}] = true
+	}
+
+	const callers = 8
+	results := make([][]float64, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.aloneIPCs(mix, dcache.SetAssoc)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		for j, v := range results[i] {
+			if v != results[0][j] {
+				t.Fatalf("caller %d got %v, caller 0 got %v", i, results[i], results[0])
+			}
+		}
+	}
+	if got, want := r.aloneRuns, int64(len(keys)); got != want {
+		t.Fatalf("executed %d alone runs for %d distinct keys (duplicated work)", got, want)
+	}
+	if len(r.inflight) != 0 {
+		t.Fatalf("%d in-flight records leaked", len(r.inflight))
 	}
 }

@@ -30,10 +30,22 @@ type Runner struct {
 	mixes   []workload.Mix
 	workers int
 
-	mu      sync.Mutex
-	results map[runKey]sim.Result
-	errs    map[runKey]error
-	alone   map[aloneKey]float64
+	mu       sync.Mutex
+	results  map[runKey]sim.Result
+	errs     map[runKey]error
+	alone    map[aloneKey]float64
+	inflight map[aloneKey]*aloneCall
+
+	aloneRuns int64 // alone simulations actually executed (tests assert no duplicates)
+}
+
+// aloneCall is the in-flight record of one alone-run computation
+// (singleflight): concurrent requesters for the same key block on done
+// and share the one result instead of duplicating a full simulation.
+type aloneCall struct {
+	done chan struct{}
+	ipc  float64
+	err  error
 }
 
 type runKey struct {
@@ -61,12 +73,13 @@ func NewRunner(base config.Config, mixes []workload.Mix, workers int) *Runner {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Runner{
-		base:    base,
-		mixes:   mixes,
-		workers: workers,
-		results: make(map[runKey]sim.Result),
-		errs:    make(map[runKey]error),
-		alone:   make(map[aloneKey]float64),
+		base:     base,
+		mixes:    mixes,
+		workers:  workers,
+		results:  make(map[runKey]sim.Result),
+		errs:     make(map[runKey]error),
+		alone:    make(map[aloneKey]float64),
+		inflight: make(map[aloneKey]*aloneCall),
 	}
 }
 
@@ -91,7 +104,10 @@ func (r *Runner) configFor(k runKey) (config.Config, error) {
 	cfg.Seed = r.base.Seed + uint64(k.mixID)*1_000_003
 	for _, m := range r.mixes {
 		if m.ID == k.mixID {
-			cfg.Benchmarks = m.Benchmarks[:]
+			// Copy: the config escapes into a concurrently running
+			// simulation, and sharing the mix's backing array would
+			// alias every run started from the same mix.
+			cfg.Benchmarks = append([]string(nil), m.Benchmarks[:]...)
 			return cfg, nil
 		}
 	}
@@ -163,26 +179,48 @@ func (r *Runner) result(k runKey) sim.Result {
 	return res
 }
 
+// aloneIPC returns the memoized alone IPC for one (benchmark, org) key,
+// computing it at most once: concurrent callers for the same key — e.g.
+// two figure drivers sharing benchmarks — join the in-flight computation
+// instead of racing to run the same full simulation twice.
+func (r *Runner) aloneIPC(k aloneKey) (float64, error) {
+	r.mu.Lock()
+	if ipc, ok := r.alone[k]; ok {
+		r.mu.Unlock()
+		return ipc, nil
+	}
+	if call, ok := r.inflight[k]; ok {
+		r.mu.Unlock()
+		<-call.done
+		return call.ipc, call.err
+	}
+	call := &aloneCall{done: make(chan struct{})}
+	r.inflight[k] = call
+	r.aloneRuns++
+	r.mu.Unlock()
+
+	cfg := r.base
+	cfg.Org = k.org
+	call.ipc, call.err = sim.AloneIPC(cfg, k.bench)
+
+	r.mu.Lock()
+	if call.err == nil {
+		r.alone[k] = call.ipc
+	}
+	delete(r.inflight, k)
+	r.mu.Unlock()
+	close(call.done)
+	return call.ipc, call.err
+}
+
 // aloneIPCs returns per-core alone IPCs for a mix under an organization,
 // computing and memoizing per-benchmark alone runs on demand.
 func (r *Runner) aloneIPCs(mix workload.Mix, org dcache.Org) ([]float64, error) {
 	out := make([]float64, len(mix.Benchmarks))
 	for i, b := range mix.Benchmarks {
-		k := aloneKey{bench: b, org: org}
-		r.mu.Lock()
-		ipc, ok := r.alone[k]
-		r.mu.Unlock()
-		if !ok {
-			cfg := r.base
-			cfg.Org = org
-			var err error
-			ipc, err = sim.AloneIPC(cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			r.mu.Lock()
-			r.alone[k] = ipc
-			r.mu.Unlock()
+		ipc, err := r.aloneIPC(aloneKey{bench: b, org: org})
+		if err != nil {
+			return nil, err
 		}
 		out[i] = ipc
 	}
@@ -190,7 +228,7 @@ func (r *Runner) aloneIPCs(mix workload.Mix, org dcache.Org) ([]float64, error) 
 }
 
 // ensureAlone precomputes alone IPCs for every benchmark of the mixes in
-// parallel.
+// parallel, through the same singleflight path aloneIPCs uses.
 func (r *Runner) ensureAlone(org dcache.Org) error {
 	benches := map[string]bool{}
 	for _, m := range r.mixes {
@@ -203,32 +241,18 @@ func (r *Runner) ensureAlone(org dcache.Org) error {
 	var mu sync.Mutex
 	var firstErr error
 	for b := range benches {
-		k := aloneKey{bench: b, org: org}
-		r.mu.Lock()
-		_, ok := r.alone[k]
-		r.mu.Unlock()
-		if ok {
-			continue
-		}
 		wg.Add(1)
 		go func(b string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			cfg := r.base
-			cfg.Org = org
-			ipc, err := sim.AloneIPC(cfg, b)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
+			if _, err := r.aloneIPC(aloneKey{bench: b, org: org}); err != nil {
+				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
-				return
+				mu.Unlock()
 			}
-			r.mu.Lock()
-			r.alone[aloneKey{bench: b, org: org}] = ipc
-			r.mu.Unlock()
 		}(b)
 	}
 	wg.Wait()

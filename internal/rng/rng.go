@@ -44,10 +44,15 @@ func (r *Rand) Uint64() uint64 {
 	return result
 }
 
-// Intn returns a uniform integer in [0, n). n must be positive.
+// Intn returns a uniform integer in [0, n). n must be positive. For
+// power-of-two n the modulo reduces to a mask — the identical value
+// without the hardware divide.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
+	}
+	if n&(n-1) == 0 {
+		return int(r.Uint64() & uint64(n-1))
 	}
 	return int(r.Uint64() % uint64(n))
 }
@@ -56,6 +61,9 @@ func (r *Rand) Intn(n int) int {
 func (r *Rand) Int63n(n int64) int64 {
 	if n <= 0 {
 		panic("rng: Int63n with non-positive n")
+	}
+	if n&(n-1) == 0 {
+		return int64(r.Uint64() & uint64(n-1))
 	}
 	return int64(r.Uint64() % uint64(n))
 }

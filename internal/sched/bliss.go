@@ -24,6 +24,8 @@ type BLISS struct {
 	ClearInterval simtime.Time
 
 	blacklisted []bool
+	nBlack      int    // count of currently blacklisted apps
+	mask        uint64 // bit per blacklisted app (apps 0..63)
 	lastApp     int
 	streak      int
 	nextClear   simtime.Time
@@ -48,9 +50,29 @@ func (b *BLISS) maybeClear(now simtime.Time) {
 	for i := range b.blacklisted {
 		b.blacklisted[i] = false
 	}
+	b.nBlack = 0
+	b.mask = 0
 	b.streak = 0
 	b.lastApp = -1
 	b.nextClear = now + b.ClearInterval
+}
+
+// AnyBlacklisted reports whether at least one application is currently
+// deprioritised, applying a pending periodic clear first. Schedulers use
+// this O(1) check to skip per-entry blacklist tests entirely during the
+// (common) intervals when the blacklist is empty.
+func (b *BLISS) AnyBlacklisted(now simtime.Time) bool {
+	b.maybeClear(now)
+	return b.nBlack > 0
+}
+
+// BlacklistMask returns the blacklist as a bitmask (bit app set when app
+// is deprioritised), applying a pending periodic clear first. Only the
+// first 64 applications are representable; callers tracking more must
+// fall back to per-app Blacklisted queries.
+func (b *BLISS) BlacklistMask(now simtime.Time) uint64 {
+	b.maybeClear(now)
+	return b.mask
 }
 
 // Blacklisted reports whether app is currently deprioritised.
@@ -76,6 +98,12 @@ func (b *BLISS) OnServed(now simtime.Time, app int) {
 		b.streak = 1
 	}
 	if b.streak >= b.Threshold {
+		if !b.blacklisted[app] {
+			b.nBlack++
+			if app < 64 {
+				b.mask |= 1 << uint(app)
+			}
+		}
 		b.blacklisted[app] = true
 	}
 }

@@ -69,3 +69,34 @@ func TestCustomThreshold(t *testing.T) {
 		t.Fatal("custom threshold not honoured")
 	}
 }
+
+// TestAnyBlacklistedAndMask: the O(1) occupancy check and the bitmask
+// snapshot must track the per-app state through streaks and the periodic
+// clear.
+func TestAnyBlacklistedAndMask(t *testing.T) {
+	b := NewBLISS(4)
+	if b.AnyBlacklisted(0) || b.BlacklistMask(0) != 0 {
+		t.Fatal("fresh scheduler reports blacklisted apps")
+	}
+	for i := 0; i < b.Threshold; i++ {
+		b.OnServed(0, 2)
+	}
+	if !b.AnyBlacklisted(0) {
+		t.Fatal("AnyBlacklisted false after a blacklisting streak")
+	}
+	if got := b.BlacklistMask(0); got != 1<<2 {
+		t.Fatalf("mask = %#x, want bit 2", got)
+	}
+	// Repeat services must not double-count occupancy.
+	for i := 0; i < b.Threshold; i++ {
+		b.OnServed(0, 2)
+	}
+	if got := b.BlacklistMask(0); got != 1<<2 {
+		t.Fatalf("mask after repeat streak = %#x, want bit 2", got)
+	}
+	// The periodic clear empties both.
+	later := b.ClearInterval + 1
+	if b.AnyBlacklisted(later) || b.BlacklistMask(later) != 0 {
+		t.Fatal("clear did not reset occupancy/mask")
+	}
+}

@@ -91,6 +91,7 @@ type Gen struct {
 	lastAddr int64
 	pcBase   uint64
 	streamID uint64
+	meanGap  int // precomputed from the profile's memory intensity
 }
 
 // NewGen builds a generator. wsScale scales the profile's working set
@@ -112,6 +113,10 @@ func NewGen(prof Profile, seed uint64, base int64, wsScale float64) *Gen {
 		scale:    wsScale,
 		pcBase:   hashName(prof.Name),
 	}
+	g.meanGap = 1000/prof.MemPer1000 - 1
+	if g.meanGap < 0 {
+		g.meanGap = 0
+	}
 	g.cursor = g.rng.Int63n(ws)
 	g.lastAddr = g.base + g.cursor
 	return g
@@ -132,10 +137,7 @@ func (g *Gen) WorkingSetBlocks() int64 { return g.wsBlocks }
 // Next produces the next memory operation of the trace.
 func (g *Gen) Next() Op {
 	p := g.prof
-	meanGap := 1000/p.MemPer1000 - 1
-	if meanGap < 0 {
-		meanGap = 0
-	}
+	meanGap := g.meanGap
 	gap := meanGap/2 + g.rng.Intn(meanGap+1)
 
 	store := g.rng.Bool(p.StoreFrac)
