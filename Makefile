@@ -1,6 +1,8 @@
 # Tier-1 verification plus the benchmark smoke target.
 #
 #   make            - build + vet + test (what CI runs per PR)
+#   make race       - full test suite under the race detector (CI job)
+#   make fuzz-short - short fuzz pass over the trace decoder (CI job)
 #   make bench-short - one pass over the substrate microbenchmarks and
 #                      one small figure benchmark, with allocation stats
 #   make bench-json  - run the scheduler-sensitive benchmarks (Fig8,
@@ -9,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench-short bench-json ci
+.PHONY: all build vet test race fuzz-short bench-short bench-json ci
 
 all: ci
 
@@ -21,6 +23,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the trace decoder: a malformed trace must never
+# panic the simulator. The seed corpus lives in
+# internal/trace/testdata/fuzz; CI archives the grown corpus.
+fuzz-short:
+	$(GO) test ./internal/trace -run '^$$' -fuzz 'FuzzDecoder' -fuzztime 30s
 
 # Short benchmark pass: substrate microbenchmarks at a real benchtime
 # (their alloc counts are regression-guarded), figure benchmarks at one

@@ -1,21 +1,42 @@
-// Command dcatrace inspects the synthetic workload generators: it dumps
-// a trace prefix or summarises a benchmark's traffic characteristics
-// (memory intensity, store fraction, sequentiality, footprint reach).
-// Useful when tuning profiles or validating them against published SPEC
-// characterisations.
+// Command dcatrace works with dcasim's workload traces. It inspects the
+// synthetic generators (dump, summary, list) and drives the trace
+// subsystem: recording a run's operation streams to a .dct file,
+// replaying a file through the full simulator, and verifying that a
+// record→replay round trip reproduces the live run bit for bit.
 //
 // Usage:
 //
-//	dcatrace -bench mcf -n 20            # dump the first 20 operations
-//	dcatrace -bench lbm -summary -n 100000
-//	dcatrace -list
+//	dcatrace -bench mcf -n 20                 # dump the first 20 operations
+//	dcatrace -bench lbm -summary -n 100000    # aggregate traffic statistics
+//	dcatrace -list                            # available benchmarks
+//
+//	dcatrace -record foo.dct -mix mcf,lbm,libquantum,omnetpp -scale test
+//	dcatrace -replay foo.dct -design dca -org sa
+//	dcatrace -verify -mix mcf,lbm,libquantum,omnetpp -scale test
+//
+// -record runs the mix live and captures every operation each core
+// consumes (warm-up included). -replay simulates from the file: core
+// count, benchmark names, and run budgets come from the trace header,
+// while the machine under test (design, organization, …) comes from the
+// flags — one recording drives any controller design and organization.
+// -verify performs the round trip for every design × organization and
+// fails loudly unless each replayed result is bit-identical to its live
+// counterpart.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
 
+	"dcasim/internal/config"
+	"dcasim/internal/core"
+	"dcasim/internal/dcache"
+	"dcasim/internal/sim"
 	"dcasim/internal/workload"
 )
 
@@ -23,48 +44,197 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dcatrace: ")
 	var (
-		bench   = flag.String("bench", "mcf", "benchmark name")
-		n       = flag.Int("n", 20, "operations to generate")
+		bench   = flag.String("bench", "mcf", "benchmark name (dump/summary modes)")
+		n       = flag.Int("n", 20, "operations to generate (dump/summary modes)")
 		seed    = flag.Uint64("seed", 1, "generator seed")
-		scale   = flag.Float64("wsscale", 1.0, "working-set scale")
+		scale   = flag.Float64("wsscale", 1.0, "working-set scale (dump/summary modes)")
 		summary = flag.Bool("summary", false, "print aggregate statistics instead of the trace")
 		list    = flag.Bool("list", false, "list available benchmarks and their profiles")
+
+		record  = flag.String("record", "", "record a live run's operation streams to this .dct file")
+		replay  = flag.String("replay", "", "replay a .dct file through the simulator")
+		verify  = flag.Bool("verify", false, "record+replay round trip, compare bit for bit across all designs and organizations")
+		mix     = flag.String("mix", "soplex,mcf,gcc,libquantum", "comma-separated benchmarks, one per core (record/verify modes)")
+		cfgName = flag.String("scale", "test", "configuration scale for record/replay/verify: test or bench")
+		design  = flag.String("design", "dca", "controller design: cd, rod, or dca (replay/record modes)")
+		org     = flag.String("org", "sa", "cache organization: sa or dm (replay/record modes)")
 	)
 	flag.Parse()
 
-	if *list {
-		fmt.Printf("%-12s %8s %7s %7s %7s %7s\n", "benchmark", "mem/1k", "stores", "seq", "hot", "WS(MB)")
-		for _, name := range workload.Names() {
-			p, _ := workload.Lookup(name)
-			fmt.Printf("%-12s %8d %6.0f%% %6.0f%% %6.0f%% %7d\n",
-				p.Name, p.MemPer1000, 100*p.StoreFrac, 100*p.SeqProb, 100*p.HotProb, p.WorkingSetMB)
-		}
-		return
+	switch {
+	case *list:
+		listProfiles()
+	case *record != "":
+		runRecord(*record, *mix, *cfgName, *design, *org, *seed)
+	case *replay != "":
+		runReplay(*replay, *cfgName, *design, *org)
+	case *verify:
+		runVerify(*mix, *cfgName, *seed)
+	case *summary:
+		summarize(*bench, *seed, *scale, *n)
+	default:
+		dump(*bench, *seed, *scale, *n)
 	}
+}
 
-	prof, err := workload.Lookup(*bench)
+// baseConfig builds the simulation config for the record/replay/verify
+// modes.
+func baseConfig(cfgName, design, org string) config.Config {
+	var cfg config.Config
+	switch cfgName {
+	case "test":
+		cfg = config.Test()
+	case "bench":
+		cfg = config.Bench()
+	default:
+		log.Fatalf("unknown scale %q (want test or bench)", cfgName)
+	}
+	d, err := core.ParseDesign(design)
 	if err != nil {
 		log.Fatal(err)
 	}
-	g := workload.NewGen(prof, *seed, 0, *scale)
+	cfg.Design = d
+	switch org {
+	case "sa":
+		cfg.Org = dcache.SetAssoc
+	case "dm":
+		cfg.Org = dcache.DirectMapped
+	default:
+		log.Fatalf("unknown org %q (want sa or dm)", org)
+	}
+	return cfg
+}
 
-	if !*summary {
-		fmt.Printf("# %s: gap store block-address pc\n", prof.Name)
-		for i := 0; i < *n; i++ {
-			op := g.Next()
-			kind := "LD"
-			if op.Store {
-				kind = "ST"
-			}
-			fmt.Printf("%4d %s 0x%010x pc=0x%x\n", op.Gap, kind, op.Addr, op.PC)
-		}
-		return
+func printResult(res sim.Result) {
+	for i, b := range res.Benchmarks {
+		fmt.Printf("core %d  %-12s IPC %.4f  finished at %.0f ns\n", i, b, res.IPC[i], res.FinishNS[i])
+	}
+	fmt.Printf("dram cache reads %d (hit %.1f%%), dram accesses %d, main mem reads %d\n",
+		res.DCache.ReadReqs, 100*res.DCache.ReadHitRate(), res.DRAM.Accesses, res.MainMemReads)
+}
+
+func runRecord(path, mix, cfgName, design, org string, seed uint64) {
+	cfg := baseConfig(cfgName, design, org)
+	cfg.Benchmarks = strings.Split(mix, ",")
+	cfg.Seed = seed
+	cfg.RecordPath = path
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %s: %d cores, %d bytes\n", path, len(res.Benchmarks), info.Size())
+}
+
+func runReplay(path, cfgName, design, org string) {
+	cfg := baseConfig(cfgName, design, org)
+	cfg.TracePath = path
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %s under %v/%v\n", path, cfg.Design, cfg.Org)
+	printResult(res)
+}
+
+// runVerify records the mix once, then checks that replaying the file
+// reproduces a live run bit for bit under every design × organization.
+func runVerify(mix, cfgName string, seed uint64) {
+	dir, err := os.MkdirTemp("", "dcatrace-verify")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "verify.dct")
+
+	rec := baseConfig(cfgName, "cd", "sa")
+	rec.Benchmarks = strings.Split(mix, ",")
+	rec.Seed = seed
+	rec.RecordPath = path
+	if _, err := sim.Run(rec); err != nil {
+		log.Fatal(err)
 	}
 
+	failed := false
+	for _, d := range []core.Design{core.CD, core.ROD, core.DCA} {
+		for _, o := range []dcache.Org{dcache.SetAssoc, dcache.DirectMapped} {
+			live := baseConfig(cfgName, "cd", "sa")
+			live.Benchmarks = strings.Split(mix, ",")
+			live.Seed = seed
+			live.Design, live.Org = d, o
+			want, err := sim.Run(live)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := baseConfig(cfgName, "cd", "sa")
+			rep.Design, rep.Org = d, o
+			rep.TracePath = path
+			got, err := sim.Run(rep)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if reflect.DeepEqual(got, want) {
+				fmt.Printf("%-4v %-13v bit-identical (IPC %s)\n", d, o, ipcs(want.IPC))
+			} else {
+				failed = true
+				fmt.Printf("%-4v %-13v MISMATCH\n  live:   %+v\n  replay: %+v\n", d, o, want, got)
+			}
+		}
+	}
+	if failed {
+		log.Fatal("replay verification FAILED")
+	}
+	fmt.Println("replay verification OK: all designs and organizations bit-identical")
+}
+
+func ipcs(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.4f", x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func listProfiles() {
+	fmt.Printf("%-12s %8s %7s %7s %7s %7s\n", "benchmark", "mem/1k", "stores", "seq", "hot", "WS(MB)")
+	for _, name := range workload.Names() {
+		p, _ := workload.Lookup(name)
+		fmt.Printf("%-12s %8d %6.0f%% %6.0f%% %6.0f%% %7d\n",
+			p.Name, p.MemPer1000, 100*p.StoreFrac, 100*p.SeqProb, 100*p.HotProb, p.WorkingSetMB)
+	}
+}
+
+func newGen(bench string, seed uint64, scale float64) *workload.Gen {
+	prof, err := workload.Lookup(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return workload.NewGen(prof, seed, 0, scale)
+}
+
+func dump(bench string, seed uint64, scale float64, n int) {
+	g := newGen(bench, seed, scale)
+	fmt.Printf("# %s: gap store block-address pc\n", bench)
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		kind := "LD"
+		if op.Store {
+			kind = "ST"
+		}
+		fmt.Printf("%4d %s 0x%010x pc=0x%x\n", op.Gap, kind, op.Addr, op.PC)
+	}
+}
+
+func summarize(bench string, seed uint64, scale float64, n int) {
+	g := newGen(bench, seed, scale)
 	var instrs, stores, seq int64
 	touched := make(map[int64]struct{})
 	prev := int64(-10)
-	for i := 0; i < *n; i++ {
+	for i := 0; i < n; i++ {
 		op := g.Next()
 		instrs += int64(op.Gap) + 1
 		if op.Store {
@@ -76,8 +246,8 @@ func main() {
 		prev = op.Addr
 		touched[op.Addr] = struct{}{}
 	}
-	ops := int64(*n)
-	fmt.Printf("benchmark        %s\n", prof.Name)
+	ops := int64(n)
+	fmt.Printf("benchmark        %s\n", bench)
 	fmt.Printf("operations       %d over %d instructions\n", ops, instrs)
 	fmt.Printf("memory intensity %.1f per 1000 instructions\n", float64(ops)/float64(instrs)*1000)
 	fmt.Printf("store fraction   %.1f%%\n", 100*float64(stores)/float64(ops))

@@ -6,6 +6,7 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
 	"dcasim/internal/addrmap"
 	"dcasim/internal/core"
@@ -17,10 +18,24 @@ import (
 	"dcasim/internal/workload"
 )
 
+// TracePrefix marks a Benchmarks entry as a trace-replay source:
+// "trace:foo.dct" is shorthand for setting TracePath to "foo.dct".
+const TracePrefix = "trace:"
+
 // Config is the complete simulation configuration.
 type Config struct {
-	// Workload: one benchmark name per core (see workload.Names).
+	// Workload: one benchmark name per core (see workload.Names), or a
+	// single "trace:<path>" entry selecting trace replay.
 	Benchmarks []string
+
+	// TracePath replays a recorded trace instead of running the
+	// synthetic generators: core count and benchmark names come from
+	// the trace header, which also overrides InstrPerCore/WarmMemops so
+	// the replay consumes exactly the recorded stream.
+	TracePath string
+	// RecordPath writes the operation stream each core consumes —
+	// warm-up included — to a trace file replayable via TracePath.
+	RecordPath string
 
 	// Controller and cache organization under study.
 	Design       core.Design
@@ -138,14 +153,39 @@ func (c Config) CtrlConfig() core.Config {
 	return cc
 }
 
+// ReplayPath returns the trace file to replay: TracePath, or the path
+// of a lone "trace:<path>" Benchmarks entry. Empty means live synthetic
+// generation.
+func (c Config) ReplayPath() string {
+	if c.TracePath != "" {
+		return c.TracePath
+	}
+	if len(c.Benchmarks) == 1 && strings.HasPrefix(c.Benchmarks[0], TracePrefix) {
+		return c.Benchmarks[0][len(TracePrefix):]
+	}
+	return ""
+}
+
 // Validate reports the first problem with the configuration.
 func (c Config) Validate() error {
-	if len(c.Benchmarks) == 0 {
-		return fmt.Errorf("config: no benchmarks")
-	}
-	for _, b := range c.Benchmarks {
-		if _, err := workload.Lookup(b); err != nil {
-			return err
+	if replay := c.ReplayPath(); replay != "" {
+		// Core count, benchmarks, and run budgets come from the trace
+		// header; a benchmark list alongside it would be ignored and is
+		// almost certainly a mistake.
+		if c.TracePath != "" && len(c.Benchmarks) > 0 {
+			return fmt.Errorf("config: both TracePath and Benchmarks set")
+		}
+	} else {
+		if len(c.Benchmarks) == 0 {
+			return fmt.Errorf("config: no benchmarks")
+		}
+		for _, b := range c.Benchmarks {
+			if strings.HasPrefix(b, TracePrefix) {
+				return fmt.Errorf("config: trace entry %q cannot be mixed with synthetic benchmarks", b)
+			}
+			if _, err := workload.Lookup(b); err != nil {
+				return err
+			}
 		}
 	}
 	if err := c.DRAMGeometry().Validate(); err != nil {
@@ -155,9 +195,11 @@ func (c Config) Validate() error {
 		return err
 	}
 	switch {
-	case c.InstrPerCore <= 0:
+	// On replay the trace header supplies the run budgets and the
+	// working-set scale is unused, so both may be left zero.
+	case c.InstrPerCore <= 0 && c.ReplayPath() == "":
 		return fmt.Errorf("config: non-positive instruction budget %d", c.InstrPerCore)
-	case c.WSScale <= 0:
+	case c.WSScale <= 0 && c.ReplayPath() == "":
 		return fmt.Errorf("config: non-positive working-set scale %v", c.WSScale)
 	case c.L1Bytes <= 0 || c.L2Bytes <= 0:
 		return fmt.Errorf("config: non-positive cache sizes L1=%d L2=%d", c.L1Bytes, c.L2Bytes)

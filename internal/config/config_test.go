@@ -79,6 +79,50 @@ func TestValidationErrors(t *testing.T) {
 	}
 }
 
+func TestReplayPath(t *testing.T) {
+	c := Test()
+	if p := c.ReplayPath(); p != "" {
+		t.Fatalf("fresh config replays %q", p)
+	}
+	c.TracePath = "runs/mix.dct"
+	if p := c.ReplayPath(); p != "runs/mix.dct" {
+		t.Fatalf("TracePath not surfaced: %q", p)
+	}
+	c = Test()
+	c.Benchmarks = []string{TracePrefix + "foo.dct"}
+	if p := c.ReplayPath(); p != "foo.dct" {
+		t.Fatalf("trace: shorthand parsed as %q", p)
+	}
+	// A replay config validates without benchmarks, budgets, or scale:
+	// the trace header supplies them.
+	c.Benchmarks = nil
+	c.TracePath = "foo.dct"
+	c.InstrPerCore = 0
+	c.WSScale = 0
+	if err := c.Validate(); err != nil {
+		t.Fatalf("replay config rejected: %v", err)
+	}
+}
+
+func TestReplayValidationErrors(t *testing.T) {
+	cases := map[string]func(*Config){
+		"trace mixed with benchmarks": func(c *Config) {
+			c.Benchmarks = []string{"mcf", TracePrefix + "foo.dct"}
+		},
+		"TracePath alongside benchmarks": func(c *Config) {
+			c.Benchmarks = []string{"mcf"}
+			c.TracePath = "foo.dct"
+		},
+	}
+	for name, mutate := range cases {
+		c := Test()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+}
+
 func TestDRAMGeometry(t *testing.T) {
 	g := Paper().DRAMGeometry()
 	if g.BlocksPerRow() != 64 {

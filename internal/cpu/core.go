@@ -41,7 +41,7 @@ type Core struct {
 	eng *event.Engine
 	id  int
 	par Params
-	gen *workload.Gen
+	src workload.Source
 	l1  *cache.Cache
 	l2  *L2
 
@@ -67,15 +67,15 @@ type Core struct {
 	StallTime simtime.Time
 }
 
-// NewCore builds a core over its workload generator, private L1, and the
-// shared L2.
-func NewCore(eng *event.Engine, id int, par Params, gen *workload.Gen, l1 *cache.Cache, l2 *L2) *Core {
+// NewCore builds a core over its workload source (a synthetic generator
+// or a trace-replay stream), private L1, and the shared L2.
+func NewCore(eng *event.Engine, id int, par Params, src workload.Source, l1 *cache.Cache, l2 *L2) *Core {
 	cycle := simtime.FromNS(1 / par.FreqGHz)
 	return &Core{
 		eng:  eng,
 		id:   id,
 		par:  par,
-		gen:  gen,
+		src:  src,
 		l1:   l1,
 		l2:   l2,
 		slot: cycle / simtime.Time(par.Width),
@@ -132,7 +132,7 @@ func (c *Core) Run(target int64, onFinish func(*Core)) {
 // L2, DRAM-cache tags, and the miss predictor.
 func (c *Core) Warm(memops int64) {
 	for i := int64(0); i < memops; i++ {
-		op := c.gen.Next()
+		op := c.src.Next()
 		if op.Store {
 			res := c.l1.Access(op.Addr, true)
 			if !res.Hit && res.VictimValid && res.VictimDirty {
@@ -174,7 +174,7 @@ func (c *Core) step() {
 		// Fetch the next memory operation lazily so its dispatch time
 		// is pinned once.
 		if !c.havePend {
-			c.pendingOp = c.gen.Next()
+			c.pendingOp = c.src.Next()
 			c.havePend = true
 			c.pendingAt = c.cpuTime + simtime.Time(c.pendingOp.Gap+1)*c.slot
 		}

@@ -89,6 +89,16 @@ func (r *Runner) Mixes() []workload.Mix { return r.mixes }
 // BaseConfig returns a copy of the base configuration.
 func (r *Runner) BaseConfig() config.Config { return r.base }
 
+// mixFor resolves a mix ID against the runner's mixes.
+func (r *Runner) mixFor(mixID int) (workload.Mix, error) {
+	for _, m := range r.mixes {
+		if m.ID == mixID {
+			return m, nil
+		}
+	}
+	return workload.Mix{}, fmt.Errorf("exp: unknown mix id %d", mixID)
+}
+
 func (r *Runner) configFor(k runKey) (config.Config, error) {
 	cfg := r.base
 	cfg.Org = k.org
@@ -102,16 +112,15 @@ func (r *Runner) configFor(k runKey) (config.Config, error) {
 		cfg.Timing.TWTR = simtime.Time(k.twtrPS)
 	}
 	cfg.Seed = r.base.Seed + uint64(k.mixID)*1_000_003
-	for _, m := range r.mixes {
-		if m.ID == k.mixID {
-			// Copy: the config escapes into a concurrently running
-			// simulation, and sharing the mix's backing array would
-			// alias every run started from the same mix.
-			cfg.Benchmarks = append([]string(nil), m.Benchmarks[:]...)
-			return cfg, nil
-		}
+	m, err := r.mixFor(k.mixID)
+	if err != nil {
+		return cfg, err
 	}
-	return cfg, fmt.Errorf("exp: unknown mix id %d", k.mixID)
+	// Copy: the config escapes into a concurrently running simulation,
+	// and sharing the mix's backing array would alias every run started
+	// from the same mix.
+	cfg.Benchmarks = append([]string(nil), m.Benchmarks[:]...)
+	return cfg, nil
 }
 
 // ensure computes every missing key, bounded-parallel across runs.
@@ -259,13 +268,13 @@ func (r *Runner) ensureAlone(org dcache.Org) error {
 	return firstErr
 }
 
-// weightedSpeedup computes the weighted speedup of a memoized run.
+// weightedSpeedup computes the weighted speedup of a memoized run. An
+// unknown mix ID is an error: proceeding with a zero-value Mix would
+// silently normalize against empty benchmark names.
 func (r *Runner) weightedSpeedup(k runKey) (float64, error) {
-	var mix workload.Mix
-	for _, m := range r.mixes {
-		if m.ID == k.mixID {
-			mix = m
-		}
+	mix, err := r.mixFor(k.mixID)
+	if err != nil {
+		return 0, err
 	}
 	alone, err := r.aloneIPCs(mix, k.org)
 	if err != nil {

@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"dcasim/internal/dcache"
+)
+
+// TestWeightedSpeedupUnknownMix: an unknown mix ID must surface as an
+// error, not proceed with a zero-value Mix (which would run alone-IPC
+// simulations for empty benchmark names or, before the fix, silently
+// produce a bogus speedup).
+func TestWeightedSpeedupUnknownMix(t *testing.T) {
+	r := testRunner(t, 1)
+	before := r.aloneRuns
+	_, err := r.weightedSpeedup(runKey{mixID: 999, org: dcache.SetAssoc})
+	if err == nil {
+		t.Fatal("weightedSpeedup accepted an unknown mix id")
+	}
+	if !strings.Contains(err.Error(), "unknown mix id 999") {
+		t.Fatalf("error %q does not name the unknown mix", err)
+	}
+	if r.aloneRuns != before {
+		t.Fatalf("unknown mix still triggered %d alone runs", r.aloneRuns-before)
+	}
+}
+
+// TestConfigForUnknownMix: the run-config path shares the same lookup.
+func TestConfigForUnknownMix(t *testing.T) {
+	r := testRunner(t, 1)
+	if _, err := r.configFor(runKey{mixID: -7}); err == nil {
+		t.Fatal("configFor accepted an unknown mix id")
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dcasim/internal/config"
+	"dcasim/internal/core"
+	"dcasim/internal/dcache"
+	"dcasim/internal/workload"
+)
+
+// replayScale returns a reduced test-scale config: the differential
+// sweep below multiplies it by 11 benchmarks × 6 machine combinations.
+func replayScale() config.Config {
+	cfg := config.Test()
+	cfg.InstrPerCore = 20_000
+	cfg.WarmMemops = 10_000
+	return cfg
+}
+
+var replayDesigns = []core.Design{core.CD, core.ROD, core.DCA}
+var replayOrgs = []dcache.Org{dcache.SetAssoc, dcache.DirectMapped}
+
+// TestReplayBitIdentical is the trace subsystem's headline guarantee:
+// recording a live synthetic run and replaying the file must reproduce
+// the live run's Result bit for bit — IPC vectors, every statistic — for
+// every built-in benchmark under all three controller designs and both
+// cache organizations. The same recording serves every machine shape
+// because the operation stream a core consumes is machine-independent.
+func TestReplayBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	for _, bench := range workload.Names() {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join(dir, bench+".dct")
+			rec := replayScale()
+			rec.Benchmarks = []string{bench}
+			rec.RecordPath = path
+			recorded, err := Run(rec)
+			if err != nil {
+				t.Fatalf("record: %v", err)
+			}
+			for _, d := range replayDesigns {
+				for _, org := range replayOrgs {
+					live := replayScale()
+					live.Benchmarks = []string{bench}
+					live.Design = d
+					live.Org = org
+					want, err := Run(live)
+					if err != nil {
+						t.Fatalf("%v/%v live: %v", d, org, err)
+					}
+					// The recording run itself must match the plain live
+					// run of the same machine: the tee only observes.
+					if d == rec.Design && org == rec.Org {
+						if !reflect.DeepEqual(recorded, want) {
+							t.Errorf("recording perturbed the run\nplain:  %+v\nrecord: %+v", want, recorded)
+						}
+					}
+					rep := replayScale()
+					rep.Benchmarks = nil
+					rep.TracePath = path
+					rep.Design = d
+					rep.Org = org
+					got, err := Run(rep)
+					if err != nil {
+						t.Fatalf("%v/%v replay: %v", d, org, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%v/%v: replay diverged from live run\nlive:   %+v\nreplay: %+v", d, org, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplayBitIdenticalMix covers the multiprogrammed case: four cores
+// consuming interleaved per-core streams from one trace file, via the
+// "trace:" benchmark shorthand.
+func TestReplayBitIdenticalMix(t *testing.T) {
+	mix := []string{"mcf", "lbm", "libquantum", "omnetpp"}
+	path := filepath.Join(t.TempDir(), "mix.dct")
+	rec := replayScale()
+	rec.Benchmarks = mix
+	rec.RecordPath = path
+	rec.Design = core.DCA
+	want, err := Run(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := replayScale()
+	rep.Benchmarks = []string{config.TracePrefix + path}
+	rep.Design = core.DCA
+	got, err := Run(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mix replay diverged from live run\nlive:   %+v\nreplay: %+v", want, got)
+	}
+	if !reflect.DeepEqual(got.Benchmarks, mix) {
+		t.Fatalf("replay Benchmarks = %v, want %v (header names, not the trace: entry)", got.Benchmarks, mix)
+	}
+}
+
+// TestReplayTruncatedTraceErrors: a trace shorter than the run it claims
+// must fail cleanly, not hang or panic.
+func TestReplayTruncatedTraceErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.dct")
+	rec := replayScale()
+	rec.Benchmarks = []string{"gcc"}
+	rec.RecordPath = path
+	if _, err := Run(rec); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := replayScale()
+	rep.Benchmarks = nil
+	rep.TracePath = path
+	// Re-record while replaying (transcode): the failed run must also
+	// discard its partial output file.
+	out := filepath.Join(filepath.Dir(path), "transcode.dct")
+	rep.RecordPath = out
+	if _, err := Run(rep); err == nil {
+		t.Fatal("replaying a truncated trace succeeded")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("failed run left partial recording %s behind (stat err: %v)", out, err)
+	}
+}
+
+// TestReplayRejectsMixedBenchmarks: trace entries cannot be combined
+// with synthetic benchmarks or a second TracePath.
+func TestReplayRejectsMixedBenchmarks(t *testing.T) {
+	cfg := replayScale()
+	cfg.Benchmarks = []string{"mcf", config.TracePrefix + "foo.dct"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("mixed trace/synthetic benchmark list accepted")
+	}
+	cfg = replayScale()
+	cfg.Benchmarks = []string{"mcf"}
+	cfg.TracePath = "foo.dct"
+	if _, err := Run(cfg); err == nil {
+		t.Error("TracePath alongside Benchmarks accepted")
+	}
+}

@@ -5,7 +5,9 @@
 package sim
 
 import (
+	"bufio"
 	"fmt"
+	"os"
 
 	"dcasim/internal/cache"
 	"dcasim/internal/config"
@@ -17,6 +19,7 @@ import (
 	"dcasim/internal/mainmem"
 	"dcasim/internal/simtime"
 	"dcasim/internal/tagcache"
+	"dcasim/internal/trace"
 	"dcasim/internal/workload"
 )
 
@@ -43,11 +46,149 @@ type Result struct {
 	MainMemWrites int64
 }
 
+// runSources carries the resolved per-core operation streams of a run:
+// live synthetic generators, trace-replay decoders, and the optional
+// recording tee around either.
+type runSources struct {
+	names      []string // benchmark name per core, for Result.Benchmarks
+	srcs       []workload.Source
+	reader     *trace.Reader
+	writer     *trace.Writer
+	outBuf     *bufio.Writer
+	recordPath string
+	files      []*os.File
+}
+
+// openSources resolves cfg into per-core sources. On replay it rewrites
+// the run budgets from the trace header so the simulation consumes
+// exactly the recorded stream; on record it tees every source into a
+// trace writer.
+func openSources(cfg *config.Config) (*runSources, error) {
+	rs := &runSources{}
+	if path := cfg.ReplayPath(); path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("sim: open trace: %w", err)
+		}
+		rs.files = append(rs.files, f)
+		r, err := trace.NewReader(bufio.NewReaderSize(f, 1<<16))
+		if err != nil {
+			rs.closeFiles()
+			return nil, err
+		}
+		rs.reader = r
+		hdr := r.Header()
+		rs.names = hdr.Benchmarks
+		if hdr.InstrPerCore > 0 {
+			cfg.InstrPerCore = hdr.InstrPerCore
+			cfg.WarmMemops = hdr.WarmMemops
+			cfg.Seed = hdr.Seed
+			cfg.WSScale = hdr.WSScale
+		}
+		if cfg.InstrPerCore <= 0 {
+			rs.closeFiles()
+			return nil, fmt.Errorf("sim: trace %s carries no instruction budget and the config sets none", path)
+		}
+		rs.srcs = make([]workload.Source, len(rs.names))
+		for i := range rs.srcs {
+			rs.srcs[i] = r.Source(i)
+		}
+	} else {
+		rs.names = append([]string(nil), cfg.Benchmarks...)
+		rs.srcs = make([]workload.Source, len(rs.names))
+		for i, bench := range rs.names {
+			prof, err := workload.Lookup(bench)
+			if err != nil {
+				return nil, err
+			}
+			rs.srcs[i] = workload.NewGen(prof, cfg.Seed*1000003+uint64(i)*7919, int64(i)<<40, cfg.WSScale)
+		}
+	}
+	if cfg.RecordPath != "" {
+		f, err := os.Create(cfg.RecordPath)
+		if err != nil {
+			rs.closeFiles()
+			return nil, fmt.Errorf("sim: create trace: %w", err)
+		}
+		rs.files = append(rs.files, f)
+		rs.recordPath = cfg.RecordPath
+		rs.outBuf = bufio.NewWriterSize(f, 1<<16)
+		w, err := trace.NewWriter(rs.outBuf, trace.Header{
+			Benchmarks:   rs.names,
+			Seed:         cfg.Seed,
+			WSScale:      cfg.WSScale,
+			InstrPerCore: cfg.InstrPerCore,
+			WarmMemops:   cfg.WarmMemops,
+		})
+		if err != nil {
+			rs.abort()
+			return nil, err
+		}
+		rs.writer = w
+		for i := range rs.srcs {
+			rs.srcs[i] = w.Tee(i, rs.srcs[i])
+		}
+	}
+	return rs, nil
+}
+
+// abort closes the trace files after a failed run and removes a
+// partially written recording — a truncated .dct would replay as a
+// confusing stream-exhausted error much later.
+func (rs *runSources) abort() {
+	rs.closeFiles()
+	if rs.recordPath != "" {
+		os.Remove(rs.recordPath)
+	}
+}
+
+// finish flushes the recording, surfaces any replay decode error, and
+// closes the trace files.
+func (rs *runSources) finish() error {
+	var first error
+	if rs.writer != nil {
+		first = rs.writer.Flush()
+		if err := rs.outBuf.Flush(); first == nil && err != nil {
+			first = fmt.Errorf("sim: flush trace: %w", err)
+		}
+	}
+	if rs.reader != nil && first == nil {
+		if err := rs.reader.Err(); err != nil {
+			first = fmt.Errorf("sim: replay: %w", err)
+		}
+	}
+	if err := rs.closeFiles(); first == nil {
+		first = err
+	}
+	return first
+}
+
+func (rs *runSources) closeFiles() error {
+	var first error
+	for _, f := range rs.files {
+		if err := f.Close(); first == nil && err != nil {
+			first = err
+		}
+	}
+	rs.files = nil
+	return first
+}
+
 // Run executes one simulation and returns its results.
 func Run(cfg config.Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	srcs, err := openSources(&cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	finished := false
+	defer func() {
+		if !finished {
+			srcs.abort()
+		}
+	}()
 	eng := &event.Engine{}
 	mem := mainmem.New(eng, cfg.MainMem)
 
@@ -60,7 +201,7 @@ func Run(cfg config.Config) (Result, error) {
 		Ctrl:      cfg.CtrlConfig(),
 		UseMAPI:   cfg.UseMAPI,
 		BEARProbe: cfg.BEARProbe,
-		Cores:     len(cfg.Benchmarks),
+		Cores:     len(srcs.srcs),
 	}
 	if cfg.TagCacheKB > 0 {
 		tc := tagcache.DefaultConfig(cfg.TagCacheKB << 10)
@@ -77,18 +218,13 @@ func Run(cfg config.Config) (Result, error) {
 	}
 	l2 := cpu.NewL2(eng, l2arr, dc, cfg.L2HitLat, cfg.LeeWriteback)
 
-	cores := make([]*cpu.Core, len(cfg.Benchmarks))
-	for i, bench := range cfg.Benchmarks {
-		prof, err := workload.Lookup(bench)
-		if err != nil {
-			return Result{}, err
-		}
-		gen := workload.NewGen(prof, cfg.Seed*1000003+uint64(i)*7919, int64(i)<<40, cfg.WSScale)
+	cores := make([]*cpu.Core, len(srcs.srcs))
+	for i, src := range srcs.srcs {
 		l1, err := cache.New(cfg.L1Bytes, dcache.BlockBytes, cfg.L1Ways)
 		if err != nil {
 			return Result{}, err
 		}
-		cores[i] = cpu.NewCore(eng, i, cfg.CPU, gen, l1, l2)
+		cores[i] = cpu.NewCore(eng, i, cfg.CPU, src, l1, l2)
 	}
 
 	// Functional warm-up: interleave the cores in rounds so shared L2 and
@@ -118,9 +254,15 @@ func Run(cfg config.Config) (Result, error) {
 			return Result{}, fmt.Errorf("sim: deadlock with %d cores unfinished at %v", remaining, eng.Now())
 		}
 	}
+	// Any error — including a replay decode error surfaced here — takes
+	// the deferred abort path, which discards a partial recording.
+	if err := srcs.finish(); err != nil {
+		return Result{}, err
+	}
+	finished = true
 
 	res := Result{
-		Benchmarks:      append([]string(nil), cfg.Benchmarks...),
+		Benchmarks:      append([]string(nil), srcs.names...),
 		DCache:          dc.Stats(),
 		DRAM:            dc.DRAMStats(),
 		Ctrl:            dc.CtrlStats(),

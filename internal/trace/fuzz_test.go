@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"dcasim/internal/workload"
+)
+
+// corpusSeeds builds representative traces for the fuzz corpus: a
+// single-core synthetic recording, a multi-core interleaved one, and an
+// empty-body header. Checked-in variants (including mutated ones) live
+// under testdata/fuzz/FuzzDecoder.
+func corpusSeeds(tb testing.TB) [][]byte {
+	var seeds [][]byte
+
+	var one bytes.Buffer
+	w, err := NewWriter(&one, Header{Benchmarks: []string{"mcf"}, Seed: 1, WSScale: 0.02, InstrPerCore: 100, WarmMemops: 50})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prof, err := workload.Lookup("mcf")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen := workload.NewGen(prof, 1, 0, 0.01)
+	for i := 0; i < 400; i++ {
+		w.Add(0, gen.Next())
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, one.Bytes())
+
+	var multi bytes.Buffer
+	w, err = NewWriter(&multi, Header{Benchmarks: []string{"lbm", "gcc"}, Seed: 2, WSScale: 0.02, InstrPerCore: 100, WarmMemops: 0})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i, op := range randomOps(13, 600) {
+		w.Add(i%2, op)
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, multi.Bytes())
+
+	var hdrOnly bytes.Buffer
+	if _, err := NewWriter(&hdrOnly, Header{Benchmarks: []string{"milc"}}); err != nil {
+		tb.Fatal(err)
+	}
+	seeds = append(seeds, hdrOnly.Bytes())
+	return seeds
+}
+
+// FuzzDecoder drives the trace decoder with arbitrary bytes: whatever
+// the input, opening and draining a trace must never panic, never loop
+// unboundedly, and must latch an error (rather than fabricate data)
+// whenever a consumer outruns the stream.
+func FuzzDecoder(f *testing.F) {
+	for _, s := range corpusSeeds(f) {
+		f.Add(s)
+		if len(s) > 8 {
+			f.Add(s[:len(s)/2]) // truncated
+			m := bytes.Clone(s)
+			m[len(m)/3] ^= 0x40 // corrupted header or body byte
+			f.Add(m)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		hdr := r.Header()
+		n := len(hdr.Benchmarks)
+		if n < 1 || n > maxCores {
+			t.Fatalf("reader accepted %d cores", n)
+		}
+		// Drain a bounded number of ops round-robin, the way a
+		// simulation would; progress must be bounded regardless of
+		// input.
+		srcs := make([]workload.Source, n)
+		for i := range srcs {
+			srcs[i] = r.Source(i)
+		}
+		const budget = 1 << 14
+		for i := 0; i < budget && r.Err() == nil; i++ {
+			op := srcs[i%n].Next()
+			if op.Gap < 0 || uint64(op.Gap) > maxGap {
+				t.Fatalf("decoded gap %d out of range", op.Gap)
+			}
+		}
+		if r.Err() == nil {
+			return // long valid trace: budget exhausted before the data
+		}
+		// Past the first error every stream must be poisoned: zero ops
+		// only, error latched stable.
+		first := r.Err()
+		for i := range srcs {
+			if op := srcs[i].Next(); op != (workload.Op{}) {
+				t.Fatalf("core %d produced %+v after error %v", i, op, first)
+			}
+		}
+		if r.Err() != first {
+			t.Fatalf("latched error changed from %v to %v", first, r.Err())
+		}
+	})
+}

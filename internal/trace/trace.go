@@ -1,0 +1,488 @@
+// Package trace defines dcasim's compact binary trace format (.dct) and
+// its streaming encoder/decoder. A trace captures, per core, the exact
+// sequence of memory operations a simulation consumed — warm-up included
+// — so that replaying the file through sim.Run reproduces the original
+// run bit for bit on any controller design and cache organization (the
+// operation stream a core consumes is independent of both).
+//
+// # File layout
+//
+// Everything is little-endian unsigned varints (encoding/binary style)
+// unless noted. Signed quantities use zigzag encoding.
+//
+//	magic    4 bytes "DCT1"
+//	version  uvarint (currently 1)
+//	seed     uvarint — generator seed of the recorded run
+//	wsScale  uvarint — math.Float64bits of the working-set scale
+//	instr    uvarint — InstrPerCore of the recorded run
+//	warm     uvarint — WarmMemops of the recorded run
+//	ncores   uvarint
+//	percore  ncores × (uvarint name length, name bytes)
+//	body     chunk* until EOF
+//
+// Each chunk is (uvarint coreID, uvarint payload length, payload). A
+// chunk's payload is a run of operation records belonging to that core;
+// chunks from different cores interleave in consumption order, so the
+// decoder buffers at most a few chunks per core. One operation record is
+//
+//	head uvarint — gap<<1 | store
+//	addr varint  — zigzag delta from the core's previous block address
+//	pc   varint  — zigzag delta from the core's previous PC
+//
+// with per-core delta state starting at zero. Delta coding makes
+// streaming runs cost two bytes per operation.
+//
+// # Robustness
+//
+// The decoder never panics on malformed input: every structural bound
+// (core count, name length, chunk size, gap magnitude) is checked, and
+// the first error latches in Reader.Err while subsequent Next calls
+// return harmless zero operations. A consumer that outlives a truncated
+// or corrupt trace therefore still terminates, and checks Err once at
+// the end.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dcasim/internal/workload"
+)
+
+// Format bounds. They exist so a malformed header or chunk cannot make
+// the decoder allocate or loop unboundedly.
+const (
+	magic        = "DCT1"
+	version      = 1
+	maxCores     = 1024
+	maxNameLen   = 256
+	maxChunkLen  = 1 << 20
+	maxGap       = 1 << 32 // far above any sane instruction gap
+	flushTrigger = 4096    // writer flushes a core's chunk past this size
+)
+
+// Header is the trace metadata: enough to name the recorded workload and
+// to re-derive the run budgets on replay.
+type Header struct {
+	Benchmarks   []string // one per core, in core order
+	Seed         uint64
+	WSScale      float64
+	InstrPerCore int64
+	WarmMemops   int64
+}
+
+// zigzag encodes a signed delta as an unsigned varint-friendly value.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Writer encodes per-core operation streams into a trace file. It
+// buffers each core's records and emits them as interleaved chunks, so
+// memory stays bounded regardless of trace length.
+type Writer struct {
+	w     io.Writer
+	cores []coreEnc
+	err   error
+}
+
+type coreEnc struct {
+	buf      []byte
+	prevAddr int64
+	prevPC   uint64
+}
+
+// NewWriter writes the header and returns a writer for len(hdr.Benchmarks)
+// core streams.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	n := len(hdr.Benchmarks)
+	if n == 0 || n > maxCores {
+		return nil, fmt.Errorf("trace: %d cores out of range [1,%d]", n, maxCores)
+	}
+	var b []byte
+	b = append(b, magic...)
+	b = binary.AppendUvarint(b, version)
+	b = binary.AppendUvarint(b, hdr.Seed)
+	b = binary.AppendUvarint(b, math.Float64bits(hdr.WSScale))
+	b = binary.AppendUvarint(b, uint64(hdr.InstrPerCore))
+	b = binary.AppendUvarint(b, uint64(hdr.WarmMemops))
+	b = binary.AppendUvarint(b, uint64(n))
+	for _, name := range hdr.Benchmarks {
+		if len(name) > maxNameLen {
+			return nil, fmt.Errorf("trace: benchmark name %q too long", name)
+		}
+		b = binary.AppendUvarint(b, uint64(len(name)))
+		b = append(b, name...)
+	}
+	if _, err := w.Write(b); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &Writer{w: w, cores: make([]coreEnc, n)}, nil
+}
+
+// Add appends one operation to a core's stream. An operation a replay
+// would reject (negative or absurd gap) latches an encode error rather
+// than producing a file that only fails later, at replay time.
+func (w *Writer) Add(core int, op workload.Op) {
+	if w.err != nil {
+		return
+	}
+	if op.Gap < 0 || uint64(op.Gap) > maxGap {
+		w.err = fmt.Errorf("trace: core %d: gap %d outside [0,%d]", core, op.Gap, uint64(maxGap))
+		return
+	}
+	c := &w.cores[core]
+	c.buf = binary.AppendUvarint(c.buf, uint64(op.Gap)<<1|b2u(op.Store))
+	c.buf = binary.AppendUvarint(c.buf, zigzag(op.Addr-c.prevAddr))
+	c.buf = binary.AppendUvarint(c.buf, zigzag(int64(op.PC-c.prevPC)))
+	c.prevAddr = op.Addr
+	c.prevPC = op.PC
+	if len(c.buf) >= flushTrigger {
+		w.flushCore(core)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// flushCore emits one chunk holding a core's pending records.
+func (w *Writer) flushCore(core int) {
+	c := &w.cores[core]
+	if len(c.buf) == 0 || w.err != nil {
+		return
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(core))
+	n += binary.PutUvarint(hdr[n:], uint64(len(c.buf)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		w.err = fmt.Errorf("trace: write chunk header: %w", err)
+		return
+	}
+	if _, err := w.w.Write(c.buf); err != nil {
+		w.err = fmt.Errorf("trace: write chunk: %w", err)
+		return
+	}
+	c.buf = c.buf[:0]
+}
+
+// Flush emits all pending chunks and reports the first write error.
+func (w *Writer) Flush() error {
+	for i := range w.cores {
+		w.flushCore(i)
+	}
+	return w.err
+}
+
+// Tee wraps a source so every operation it produces is also recorded to
+// the writer, unchanged, for one core stream.
+func (w *Writer) Tee(core int, src workload.Source) workload.Source {
+	return &teeSource{w: w, core: core, src: src}
+}
+
+type teeSource struct {
+	w    *Writer
+	core int
+	src  workload.Source
+}
+
+func (t *teeSource) Next() workload.Op {
+	op := t.src.Next()
+	t.w.Add(t.core, op)
+	return op
+}
+
+// Reader decodes a trace. It streams chunks on demand: when a core's
+// buffered records run out, the reader pulls chunks off the file —
+// queuing the other cores' payloads — until that core gets data or the
+// file ends. After the first few chunks the steady state allocates
+// nothing: per-core buffers are recycled in place.
+type Reader struct {
+	r     io.Reader
+	hdr   Header
+	cores []coreDec
+	err   error // first structural/IO error, latched
+	eof   bool
+
+	varbuf [binary.MaxVarintLen64]byte
+}
+
+type coreDec struct {
+	buf      []byte // undecoded record bytes
+	off      int
+	prevAddr int64
+	prevPC   uint64
+}
+
+// NewReader parses the header. The reader performs its own buffering of
+// r via chunk payloads; wrapping r in a bufio.Reader is still worthwhile
+// for small-chunk traces on raw files.
+func NewReader(r io.Reader) (*Reader, error) {
+	d := &Reader{r: r}
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	ver, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	if d.hdr.Seed, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	wsBits, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	d.hdr.WSScale = math.Float64frombits(wsBits)
+	instr, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	warm, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if instr > math.MaxInt64 || warm > math.MaxInt64 {
+		return nil, fmt.Errorf("trace: run budget overflows int64")
+	}
+	d.hdr.InstrPerCore, d.hdr.WarmMemops = int64(instr), int64(warm)
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxCores {
+		return nil, fmt.Errorf("trace: %d cores out of range [1,%d]", n, maxCores)
+	}
+	d.hdr.Benchmarks = make([]string, n)
+	for i := range d.hdr.Benchmarks {
+		nameLen, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > maxNameLen {
+			return nil, fmt.Errorf("trace: benchmark name length %d exceeds %d", nameLen, maxNameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("trace: read benchmark name: %w", err)
+		}
+		d.hdr.Benchmarks[i] = string(name)
+	}
+	d.cores = make([]coreDec, n)
+	return d, nil
+}
+
+// uvarint reads one varint byte-at-a-time from the underlying reader
+// (header and chunk framing only; record decoding works on buffered
+// chunk payloads).
+func (d *Reader) uvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		if _, err := io.ReadFull(d.r, d.varbuf[:1]); err != nil {
+			return 0, fmt.Errorf("trace: read varint: %w", err)
+		}
+		b := d.varbuf[0]
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("trace: varint overflows uint64")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, fmt.Errorf("trace: varint too long")
+}
+
+// Header returns the trace metadata.
+func (d *Reader) Header() Header { return d.hdr }
+
+// Err returns the first decode error: nil on a well-formed trace whose
+// consumers never outran their streams, io.ErrUnexpectedEOF (wrapped)
+// when a consumer needed more operations than the trace holds, or a
+// description of the first structural fault.
+func (d *Reader) Err() error { return d.err }
+
+// Source returns the replay source for one core stream. On underrun or
+// malformed input it latches Reader.Err and produces zero operations —
+// each still retiring one instruction — so a simulation consuming it
+// always terminates and can surface Err afterwards.
+func (d *Reader) Source(core int) workload.Source {
+	return &replaySource{d: d, core: core}
+}
+
+type replaySource struct {
+	d    *Reader
+	core int
+}
+
+func (s *replaySource) Next() workload.Op { return s.d.next(s.core) }
+
+// next decodes one record for a core, pulling chunks as needed. The
+// first error — structural or underrun, on any stream — poisons every
+// stream: all subsequent calls return zero operations.
+func (d *Reader) next(core int) workload.Op {
+	if d.err != nil {
+		return workload.Op{}
+	}
+	c := &d.cores[core]
+	for c.off >= len(c.buf) {
+		if d.err != nil || d.eof {
+			if d.err == nil {
+				d.err = fmt.Errorf("trace: core %d stream exhausted: %w", core, io.ErrUnexpectedEOF)
+			}
+			return workload.Op{}
+		}
+		d.fill()
+	}
+	head, ok := d.record(c)
+	if !ok {
+		d.fail(fmt.Errorf("trace: core %d: malformed record", core))
+		return workload.Op{}
+	}
+	if head>>1 > maxGap {
+		d.fail(fmt.Errorf("trace: core %d: gap %d exceeds %d", core, head>>1, uint64(maxGap)))
+		return workload.Op{}
+	}
+	return workload.Op{
+		Gap:   int(head >> 1),
+		Store: head&1 == 1,
+		Addr:  c.prevAddr,
+		PC:    c.prevPC,
+	}
+}
+
+// decode pulls one varint off the core's buffered chunk payload.
+// Records never span chunks, so a varint running off the buffer is a
+// format violation, not a retry.
+func (c *coreDec) decode() (uint64, bool) {
+	u, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	c.off += n
+	return u, true
+}
+
+// record decodes the three varints of one operation record and advances
+// the core's delta state.
+func (d *Reader) record(c *coreDec) (head uint64, ok bool) {
+	head, ok = c.decode()
+	if !ok {
+		return 0, false
+	}
+	da, ok := c.decode()
+	if !ok {
+		return 0, false
+	}
+	dp, ok := c.decode()
+	if !ok {
+		return 0, false
+	}
+	c.prevAddr += unzigzag(da)
+	c.prevPC += uint64(unzigzag(dp))
+	return head, true
+}
+
+// fail latches the first error and poisons all streams.
+func (d *Reader) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// fill reads the next chunk into its core's buffer. A clean EOF at a
+// chunk boundary just marks the body done.
+func (d *Reader) fill() {
+	var cb [1]byte
+	if _, err := io.ReadFull(d.r, cb[:]); err != nil {
+		if err == io.EOF {
+			d.eof = true
+		} else {
+			d.fail(fmt.Errorf("trace: read chunk: %w", err))
+		}
+		return
+	}
+	core, err := d.contUvarint(cb[0])
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	size, err := d.chunkUvarint()
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	if core >= uint64(len(d.cores)) {
+		d.fail(fmt.Errorf("trace: chunk for core %d of %d", core, len(d.cores)))
+		return
+	}
+	if size == 0 || size > maxChunkLen {
+		d.fail(fmt.Errorf("trace: chunk length %d out of range [1,%d]", size, maxChunkLen))
+		return
+	}
+	c := &d.cores[core]
+	if c.off == len(c.buf) {
+		// Fully consumed: recycle the buffer in place.
+		c.buf = c.buf[:0]
+		c.off = 0
+	}
+	start := len(c.buf)
+	need := start + int(size)
+	if cap(c.buf) < need {
+		grown := make([]byte, start, need)
+		copy(grown, c.buf)
+		c.buf = grown
+	}
+	c.buf = c.buf[:need]
+	if _, err := io.ReadFull(d.r, c.buf[start:]); err != nil {
+		c.buf = c.buf[:start]
+		d.fail(fmt.Errorf("trace: read chunk payload: %w", err))
+	}
+}
+
+// chunkUvarint reads a chunk-framing varint byte by byte.
+func (d *Reader) chunkUvarint() (uint64, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(d.r, first[:]); err != nil {
+		return 0, fmt.Errorf("trace: read chunk varint: %w", err)
+	}
+	return d.contUvarint(first[0])
+}
+
+// contUvarint finishes a varint whose first byte is already read.
+func (d *Reader) contUvarint(first byte) (uint64, error) {
+	x := uint64(first & 0x7f)
+	if first < 0x80 {
+		return x, nil
+	}
+	s := uint(7)
+	for i := 1; i < binary.MaxVarintLen64; i++ {
+		if _, err := io.ReadFull(d.r, d.varbuf[:1]); err != nil {
+			return 0, fmt.Errorf("trace: read chunk varint: %w", err)
+		}
+		b := d.varbuf[0]
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("trace: chunk varint overflows uint64")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, fmt.Errorf("trace: chunk varint too long")
+}

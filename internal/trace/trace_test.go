@@ -1,0 +1,371 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"dcasim/internal/rng"
+	"dcasim/internal/workload"
+)
+
+func testHeader(n int) Header {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = workload.Names()[i%len(workload.Names())]
+	}
+	return Header{Benchmarks: names, Seed: 42, WSScale: 0.25, InstrPerCore: 50_000, WarmMemops: 10_000}
+}
+
+// randomOps produces a plausible op stream (deltas small and large,
+// stores mixed in, PCs clustered) without depending on the generator.
+func randomOps(seed uint64, n int) []workload.Op {
+	r := rng.New(seed)
+	ops := make([]workload.Op, n)
+	addr := int64(1 << 30)
+	pc := uint64(0xfeed0000)
+	for i := range ops {
+		switch r.Intn(4) {
+		case 0:
+			addr++
+		case 1:
+			addr += int64(r.Intn(64)) - 32
+		case 2:
+			addr = r.Int63n(1 << 40)
+		case 3:
+			pc = 0xfeed0000 + uint64(r.Intn(64))
+		}
+		ops[i] = workload.Op{Gap: r.Intn(40), Store: r.Bool(0.3), Addr: addr, PC: pc}
+	}
+	return ops
+}
+
+func TestRoundTripSingleCore(t *testing.T) {
+	ops := randomOps(7, 10_000)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		w.Add(0, op)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := r.Header()
+	if hdr.Seed != 42 || hdr.WSScale != 0.25 || hdr.InstrPerCore != 50_000 || hdr.WarmMemops != 10_000 {
+		t.Fatalf("header round-trip mismatch: %+v", hdr)
+	}
+	src := r.Source(0)
+	for i, want := range ops {
+		if got := src.Next(); got != want {
+			t.Fatalf("op %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected decode error: %v", r.Err())
+	}
+	// One more pull outruns the stream: latched underrun, zero op.
+	if got := src.Next(); got != (workload.Op{}) {
+		t.Fatalf("underrun returned %+v, want zero op", got)
+	}
+	if !errors.Is(r.Err(), io.ErrUnexpectedEOF) {
+		t.Fatalf("underrun error = %v, want ErrUnexpectedEOF", r.Err())
+	}
+}
+
+func TestRoundTripInterleavedCores(t *testing.T) {
+	const ncores = 3
+	streams := make([][]workload.Op, ncores)
+	for i := range streams {
+		streams[i] = randomOps(uint64(100+i), 5_000)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader(ncores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave production unevenly, like cores running at different
+	// speeds.
+	pos := [ncores]int{}
+	r0 := rng.New(9)
+	for {
+		all := true
+		for c := 0; c < ncores; c++ {
+			burst := 1 + r0.Intn(50)
+			for k := 0; k < burst && pos[c] < len(streams[c]); k++ {
+				w.Add(c, streams[c][pos[c]])
+				pos[c]++
+			}
+			if pos[c] < len(streams[c]) {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]workload.Source, ncores)
+	for i := range srcs {
+		srcs[i] = r.Source(i)
+	}
+	// Consume in a different interleaving than production.
+	cons := [ncores]int{}
+	r1 := rng.New(10)
+	for {
+		all := true
+		for c := 0; c < ncores; c++ {
+			burst := 1 + r1.Intn(70)
+			for k := 0; k < burst && cons[c] < len(streams[c]); k++ {
+				if got, want := srcs[c].Next(), streams[c][cons[c]]; got != want {
+					t.Fatalf("core %d op %d: got %+v want %+v", c, cons[c], got, want)
+				}
+				cons[c]++
+			}
+			if cons[c] < len(streams[c]) {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected decode error: %v", r.Err())
+	}
+}
+
+func TestTeeRecordsAndForwards(t *testing.T) {
+	prof, err := workload.Lookup("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGen(prof, 5, 0, 0.01)
+	tee := w.Tee(0, gen)
+	var seen []workload.Op
+	for i := 0; i < 2_000; i++ {
+		seen = append(seen, tee.Next())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The tee must forward exactly the generator's stream.
+	ref := workload.NewGen(prof, 5, 0, 0.01)
+	for i, op := range seen {
+		if want := ref.Next(); op != want {
+			t.Fatalf("tee perturbed op %d: got %+v want %+v", i, op, want)
+		}
+	}
+	// And the file must replay the same stream.
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := r.Source(0)
+	for i, want := range seen {
+		if got := src.Next(); got != want {
+			t.Fatalf("replay op %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+// TestWriterRejectsBadGap: an operation a replay would refuse must fail
+// at encode time, not produce a file that only errors when replayed.
+func TestWriterRejectsBadGap(t *testing.T) {
+	for _, gap := range []int{-1, maxGap + 1} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, testHeader(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Add(0, workload.Op{Gap: gap})
+		if err := w.Flush(); err == nil {
+			t.Errorf("gap %d encoded without error", gap)
+		}
+	}
+}
+
+func TestHeaderRejects(t *testing.T) {
+	if _, err := NewWriter(io.Discard, Header{}); err == nil {
+		t.Error("writer accepted zero cores")
+	}
+	if _, err := NewWriter(io.Discard, Header{Benchmarks: []string{strings.Repeat("x", maxNameLen+1)}}); err == nil {
+		t.Error("writer accepted oversized name")
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE"),
+		"short magic": []byte("DC"),
+		"bad version": append([]byte(magic), 99),
+	}
+	for name, data := range cases {
+		if _, err := NewReader(bytes.NewReader(data)); err == nil {
+			t.Errorf("reader accepted %s", name)
+		}
+	}
+}
+
+// TestMalformedBodyLatches: corrupting the body after a valid header
+// must produce an error through Err, never a panic, and Next must keep
+// returning zero ops.
+func TestMalformedBodyLatches(t *testing.T) {
+	ops := randomOps(3, 500)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader(1))
+	for _, op := range ops {
+		w.Add(0, op)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	mutations := map[string]func() []byte{
+		"truncated body": func() []byte { return full[:len(full)-3] },
+		"chunk for unknown core": func() []byte {
+			hdrLen := headerLen(t, full)
+			out := append([]byte(nil), full[:hdrLen]...)
+			out = append(out, 0x07, 0x01, 0x00) // core 7 of 1
+			return out
+		},
+		"zero-length chunk": func() []byte {
+			hdrLen := headerLen(t, full)
+			out := append([]byte(nil), full[:hdrLen]...)
+			out = append(out, 0x00, 0x00)
+			return out
+		},
+		"flipped bytes": func() []byte {
+			out := append([]byte(nil), full...)
+			for i := headerLen(t, full); i < len(out); i += 7 {
+				out[i] ^= 0xff
+			}
+			return out
+		},
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			r, err := NewReader(bytes.NewReader(mutate()))
+			if err != nil {
+				return // rejecting at open is also fine
+			}
+			src := r.Source(0)
+			for i := 0; i < len(ops)+10; i++ {
+				src.Next()
+			}
+			if r.Err() == nil {
+				t.Fatal("malformed body decoded without error")
+			}
+			if got := src.Next(); got != (workload.Op{}) {
+				t.Fatalf("post-error Next returned %+v, want zero op", got)
+			}
+		})
+	}
+}
+
+// headerLen locates the end of the header by re-parsing a valid trace.
+func headerLen(t *testing.T, full []byte) int {
+	t.Helper()
+	cr := &countingReader{r: bytes.NewReader(full)}
+	if _, err := NewReader(cr); err != nil {
+		t.Fatal(err)
+	}
+	return cr.n
+}
+
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// TestDecoderSteadyStateAllocs: the streaming decoder must not allocate
+// per operation once its chunk buffers reach steady state.
+func TestDecoderSteadyStateAllocs(t *testing.T) {
+	ops := randomOps(11, 50_000)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader(2))
+	for i, op := range ops {
+		w.Add(i%2, op)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := r.Source(0), r.Source(1)
+	// Warm the buffers past their high-water mark.
+	for i := 0; i < 2_000; i++ {
+		a.Next()
+		b.Next()
+	}
+	allocs := testing.AllocsPerRun(10_000, func() {
+		a.Next()
+		b.Next()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state decode allocates %.2f objects per pair of ops", allocs)
+	}
+	if r.Err() != nil {
+		t.Fatalf("decode error: %v", r.Err())
+	}
+}
+
+// TestCompactness: delta coding must keep a streaming workload around a
+// few bytes per operation — the format's reason to exist.
+func TestCompactness(t *testing.T) {
+	prof, err := workload.Lookup("libquantum") // highly sequential
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGen(prof, 1, 0, 0.05)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader(1))
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		w.Add(0, gen.Next())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perOp := float64(buf.Len()) / n
+	if perOp > 6 {
+		t.Fatalf("trace costs %.2f bytes/op, want <= 6 for a streaming workload", perOp)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round-trip of %d = %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCharacterization pins the aggregate traffic statistics of every
+// built-in benchmark — the same quantities `dcatrace -summary` reports —
+// so a generator refactor cannot silently drift the workloads the
+// evaluation depends on. The pinned values were measured at seed 1,
+// wsScale 0.1, over 100k operations; the tolerances are wide enough to
+// survive refactors that preserve the traffic statistics (e.g. a
+// different RNG consumption order) but not a change in workload shape.
+func TestCharacterization(t *testing.T) {
+	const (
+		n        = 100_000
+		seed     = 1
+		wsScale  = 0.1
+		relTol   = 0.05 // memory intensity: ±5 % relative
+		storeTol = 0.02 // store fraction: ±2 points absolute
+		seqTol   = 0.05 // sequential fraction: ±5 points absolute
+		reachTol = 0.15 // footprint reach: ±15 % relative
+	)
+	// name, memory ops per 1000 instructions, store fraction,
+	// sequential-address fraction, distinct blocks / working set.
+	pins := []struct {
+		name      string
+		intensity float64
+		storeFrac float64
+		seqFrac   float64
+		reach     float64
+	}{
+		{"GemsFDTD", 46.55, 0.3018, 0.7924, 0.3219},
+		{"astar", 34.45, 0.2807, 0.2673, 0.3582},
+		{"bwaves", 51.33, 0.2415, 0.8406, 0.2764},
+		{"gcc", 22.23, 0.3202, 0.5468, 0.5823},
+		{"lbm", 51.25, 0.4524, 0.8748, 0.3426},
+		{"leslie3d", 39.98, 0.2995, 0.7947, 0.4128},
+		{"libquantum", 43.48, 0.2500, 0.8438, 0.5654},
+		{"mcf", 51.36, 0.2216, 0.2140, 0.2019},
+		{"milc", 40.03, 0.3496, 0.7440, 0.2916},
+		{"omnetpp", 36.99, 0.3298, 0.2406, 0.2936},
+		{"soplex", 39.25, 0.2498, 0.6727, 0.3682},
+	}
+	if len(pins) != len(Names()) {
+		t.Fatalf("pin table covers %d benchmarks, profiles define %d", len(pins), len(Names()))
+	}
+	for _, pin := range pins {
+		pin := pin
+		t.Run(pin.name, func(t *testing.T) {
+			prof, err := Lookup(pin.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := NewGen(prof, seed, 0, wsScale)
+			var instrs, stores, seq int64
+			touched := make(map[int64]struct{}, n)
+			prev := int64(-10)
+			for i := 0; i < n; i++ {
+				op := g.Next()
+				instrs += int64(op.Gap) + 1
+				if op.Store {
+					stores++
+				}
+				if op.Addr == prev+1 {
+					seq++
+				}
+				prev = op.Addr
+				touched[op.Addr] = struct{}{}
+			}
+			intensity := float64(n) / float64(instrs) * 1000
+			storeFrac := float64(stores) / n
+			seqFrac := float64(seq) / n
+			reach := float64(len(touched)) / float64(g.WorkingSetBlocks())
+
+			if rel := math.Abs(intensity-pin.intensity) / pin.intensity; rel > relTol {
+				t.Errorf("memory intensity %.2f/1000, pinned %.2f (drift %.1f%% > %.0f%%)",
+					intensity, pin.intensity, 100*rel, 100*relTol)
+			}
+			if d := math.Abs(storeFrac - pin.storeFrac); d > storeTol {
+				t.Errorf("store fraction %.4f, pinned %.4f (drift %.3f > %.2f)",
+					storeFrac, pin.storeFrac, d, storeTol)
+			}
+			if d := math.Abs(seqFrac - pin.seqFrac); d > seqTol {
+				t.Errorf("sequential fraction %.4f, pinned %.4f (drift %.3f > %.2f)",
+					seqFrac, pin.seqFrac, d, seqTol)
+			}
+			if rel := math.Abs(reach-pin.reach) / pin.reach; rel > reachTol {
+				t.Errorf("footprint reach %.4f, pinned %.4f (drift %.1f%% > %.0f%%)",
+					reach, pin.reach, 100*rel, 100*reachTol)
+			}
+			// The measured intensity must also sit near the profile's
+			// nominal MemPer1000 (quantized by the integer mean gap).
+			nominal := 1000.0 / float64(1000/prof.MemPer1000)
+			if rel := math.Abs(intensity-nominal) / nominal; rel > relTol {
+				t.Errorf("intensity %.2f strayed from nominal %.2f", intensity, nominal)
+			}
+		})
+	}
+}
