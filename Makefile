@@ -3,6 +3,8 @@
 #   make            - build + vet + test (what CI runs per PR)
 #   make race       - full test suite under the race detector (CI job)
 #   make fuzz-short - short fuzz pass over the trace decoder (CI job)
+#   make sweep-smoke - run the example sweep spec end to end against the
+#                      persistent result cache (CI job)
 #   make bench-short - one pass over the substrate microbenchmarks and
 #                      one small figure benchmark, with allocation stats
 #   make bench-json  - run the scheduler-sensitive benchmarks (Fig8,
@@ -11,7 +13,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-short bench-short bench-json ci
+.PHONY: all build vet test race fuzz-short sweep-smoke bench-short bench-json ci
 
 all: ci
 
@@ -32,6 +34,12 @@ race:
 # internal/trace/testdata/fuzz; CI archives the grown corpus.
 fuzz-short:
 	$(GO) test ./internal/trace -run '^$$' -fuzz 'FuzzDecoder' -fuzztime 30s
+
+# End-to-end sweep smoke: evaluate the example declarative spec at the
+# test scale through the persistent result cache (CI restores the cache
+# between runs, so warm invocations simulate nothing).
+sweep-smoke:
+	$(GO) run ./cmd/dcasim sweep -spec examples/sweep/flushing_factor.json -cache .dcasim-cache
 
 # Short benchmark pass: substrate microbenchmarks at a real benchtime
 # (their alloc counts are regression-guarded), figure benchmarks at one

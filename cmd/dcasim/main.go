@@ -6,70 +6,118 @@
 //
 //	dcasim [-design cd|rod|dca] [-org sa|dm] [-remap] [-lee] [-tagkb N]
 //	       [-bench m1,m2,m3,m4] [-instr N] [-scale bench|test|paper] [-seed N]
+//	       [-config cfg.json] [-save-config cfg.json] [-cache dir]
+//
+//	dcasim sweep -spec spec.json [-cache dir] [-workers N] [-format text|csv|json]
+//
+// -config loads a scenario written by -save-config (or by hand): the
+// file is the complete serialized configuration, and any flags given
+// explicitly alongside it override the loaded values. -cache reads and
+// writes the persistent content-addressed result cache (default from
+// $DCASIM_CACHE), so repeating a run is free.
+//
+// The sweep subcommand evaluates a declarative sweep spec — a base
+// config plus named axes of JSON overrides, run over their cartesian
+// product — against the same cache. See examples/sweep/ and the README.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"dcasim"
+	"dcasim/internal/config"
 	"dcasim/internal/core"
 	"dcasim/internal/dcache"
+	"dcasim/internal/exp"
+	"dcasim/internal/rescache"
+	"dcasim/internal/sim"
+	"dcasim/internal/stats"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dcasim: ")
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweep(os.Args[2:])
+		return
+	}
 	var (
-		design  = flag.String("design", "dca", "controller design: cd, rod, or dca")
-		org     = flag.String("org", "sa", "cache organization: sa (set-associative) or dm (direct-mapped)")
-		remap   = flag.Bool("remap", false, "enable XOR permutation remapping")
-		lee     = flag.Bool("lee", false, "enable Lee DRAM-aware L2 writeback")
-		tagKB   = flag.Int("tagkb", 0, "SRAM tag cache size in KB (0 = none; set-associative only)")
-		benches = flag.String("bench", "soplex,mcf,gcc,libquantum", "comma-separated benchmarks, one per core")
-		instr   = flag.Int64("instr", 0, "instructions per core (0 = scale default)")
-		scale   = flag.String("scale", "bench", "configuration scale: bench, test, or paper")
-		seed    = flag.Uint64("seed", 1, "random seed")
+		design   = flag.String("design", "dca", "controller design: cd, rod, or dca")
+		org      = flag.String("org", "sa", "cache organization: sa (set-associative) or dm (direct-mapped)")
+		remap    = flag.Bool("remap", false, "enable XOR permutation remapping")
+		lee      = flag.Bool("lee", false, "enable Lee DRAM-aware L2 writeback")
+		tagKB    = flag.Int("tagkb", 0, "SRAM tag cache size in KB (0 = none; set-associative only)")
+		benches  = flag.String("bench", "soplex,mcf,gcc,libquantum", "comma-separated benchmarks, one per core")
+		instr    = flag.Int64("instr", 0, "instructions per core (0 = scale default)")
+		scale    = flag.String("scale", "bench", "configuration scale: bench, test, or paper")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		cfgPath  = flag.String("config", "", "load the full configuration from this JSON file (explicit flags still override)")
+		savePath = flag.String("save-config", "", "write the resolved configuration to this JSON file and exit")
+		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
 	)
 	flag.Parse()
 
 	var cfg dcasim.Config
-	switch *scale {
-	case "bench":
-		cfg = dcasim.BenchConfig()
-	case "test":
-		cfg = dcasim.TestConfig()
-	case "paper":
-		cfg = dcasim.PaperConfig()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
-	}
-
-	d, err := core.ParseDesign(*design)
-	if err != nil {
+	var err error
+	if *cfgPath != "" {
+		if cfg, err = config.Load(*cfgPath); err != nil {
+			log.Fatal(err)
+		}
+	} else if cfg, err = config.ParsePreset(*scale); err != nil {
 		log.Fatal(err)
 	}
-	cfg.Design = d
-	switch *org {
-	case "sa":
-		cfg.Org = dcache.SetAssoc
-	case "dm":
-		cfg.Org = dcache.DirectMapped
-	default:
-		log.Fatalf("unknown org %q (want sa or dm)", *org)
+
+	// With -config, a flag overrides the file only when given explicitly;
+	// without it, every flag (default or not) configures the run as before.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	set := func(name string) bool { return *cfgPath == "" || explicit[name] }
+
+	if set("scale") && *cfgPath != "" {
+		log.Fatal("-scale and -config are mutually exclusive")
 	}
-	cfg.XORRemap = *remap
-	cfg.LeeWriteback = *lee
-	cfg.TagCacheKB = *tagKB
-	cfg.Benchmarks = strings.Split(*benches, ",")
-	cfg.Seed = *seed
+	if set("design") {
+		if cfg.Design, err = core.ParseDesign(*design); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if set("org") {
+		if cfg.Org, err = dcache.ParseOrg(*org); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if set("remap") {
+		cfg.XORRemap = *remap
+	}
+	if set("lee") {
+		cfg.LeeWriteback = *lee
+	}
+	if set("tagkb") {
+		cfg.TagCacheKB = *tagKB
+	}
+	if set("bench") {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	if set("seed") {
+		cfg.Seed = *seed
+	}
 	if *instr > 0 {
 		cfg.InstrPerCore = *instr
 	}
 
-	res, err := dcasim.Run(cfg)
+	if *savePath != "" {
+		if err := config.Save(*savePath, cfg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (hash %.12s…)\n", *savePath, cfg.Hash())
+		return
+	}
+
+	res, err := cachedRun(cfg, *cacheDir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,5 +143,74 @@ func main() {
 	if res.TagCacheLookups > 0 {
 		fmt.Printf("tag cache:  %d lookups, %.1f%% hit\n", res.TagCacheLookups,
 			100*float64(res.TagCacheHits)/float64(res.TagCacheLookups))
+	}
+}
+
+// cachedRun executes one simulation through the persistent cache when a
+// directory is configured, so repeating a run costs nothing. It routes
+// through the exp runner — the one tested implementation of the
+// memo/cache/trace-bypass rules — rather than re-deriving them here.
+func cachedRun(cfg dcasim.Config, cacheDir string) (sim.Result, error) {
+	if cacheDir == "" {
+		return sim.Run(cfg)
+	}
+	cache, err := rescache.Open(cacheDir)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r := exp.NewRunner(cfg, nil, 1)
+	r.SetCache(cache)
+	res, err := r.Run(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if r.SimRuns() == 0 {
+		fmt.Fprintf(os.Stderr, "[cache hit %.12s… in %s]\n", cfg.Hash(), cacheDir)
+	}
+	if cerr := r.CacheErr(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "[cache write failed: %v]\n", cerr)
+	}
+	return res, nil
+}
+
+// runSweep is the `dcasim sweep` subcommand.
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("dcasim sweep", flag.ExitOnError)
+	var (
+		specPath = fs.String("spec", "", "sweep spec JSON file (required)")
+		cacheDir = fs.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
+		workers  = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		format   = fs.String("format", "text", "output format: text, csv, or json")
+	)
+	fs.Parse(args)
+	if *specPath == "" {
+		fs.Usage()
+		log.Fatal("sweep: -spec is required")
+	}
+	if err := stats.CheckFormat(*format); err != nil {
+		// Fail before the sweep runs, not after.
+		log.Fatal(err)
+	}
+	spec, err := exp.LoadSweep(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cache *rescache.Cache
+	if *cacheDir != "" {
+		if cache, err = rescache.Open(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tbl, runner, err := exp.RunSweep(spec, *workers, cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.Write(os.Stdout, *format); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[sweep %s: %d points, %d simulated, rest cached]\n",
+		spec.Name, len(spec.Points()), runner.SimRuns())
+	if err := runner.CacheErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "[cache write failed: %v]\n", err)
 	}
 }

@@ -78,29 +78,17 @@ func main() {
 }
 
 // baseConfig builds the simulation config for the record/replay/verify
-// modes.
+// modes from the shared config parsing helpers.
 func baseConfig(cfgName, design, org string) config.Config {
-	var cfg config.Config
-	switch cfgName {
-	case "test":
-		cfg = config.Test()
-	case "bench":
-		cfg = config.Bench()
-	default:
+	cfg, err := config.ParsePreset(cfgName)
+	if err != nil || cfgName == "paper" {
 		log.Fatalf("unknown scale %q (want test or bench)", cfgName)
 	}
-	d, err := core.ParseDesign(design)
-	if err != nil {
+	if cfg.Design, err = core.ParseDesign(design); err != nil {
 		log.Fatal(err)
 	}
-	cfg.Design = d
-	switch org {
-	case "sa":
-		cfg.Org = dcache.SetAssoc
-	case "dm":
-		cfg.Org = dcache.DirectMapped
-	default:
-		log.Fatalf("unknown org %q (want sa or dm)", org)
+	if cfg.Org, err = dcache.ParseOrg(org); err != nil {
+		log.Fatal(err)
 	}
 	return cfg
 }

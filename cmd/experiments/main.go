@@ -1,15 +1,21 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation and prints them as aligned text tables.
+// evaluation and prints them as aligned text tables (or CSV/JSON).
 //
 // Usage:
 //
 //	experiments [-mixes N] [-workers N] [-scale bench|test] [-only fig8,fig9,...]
+//	            [-cache dir] [-format text|csv|json]
 //
 // By default it runs all 30 Table I workload mixes at the bench scale and
-// prints Tables I–II and Figures 8–19.
+// prints Tables I–II and Figures 8–19 plus the extension studies. The
+// figures are declarative specs (internal/exp) evaluated over a
+// memoizing runner; with -cache (default $DCASIM_CACHE) results persist
+// in a content-addressed directory, so a repeated invocation — locally
+// or in CI — recomputes nothing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -18,7 +24,9 @@ import (
 	"time"
 
 	"dcasim"
+	"dcasim/internal/config"
 	"dcasim/internal/exp"
+	"dcasim/internal/rescache"
 	"dcasim/internal/stats"
 )
 
@@ -26,22 +34,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		nmixes  = flag.Int("mixes", 30, "number of Table I mixes to evaluate (1-30)")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		scale   = flag.String("scale", "bench", "configuration scale: bench or test")
-		only    = flag.String("only", "", "comma-separated subset, e.g. tableI,fig8,fig18")
-		seed    = flag.Uint64("seed", 1, "base random seed")
+		nmixes   = flag.Int("mixes", 30, "number of Table I mixes to evaluate (1-30)")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		scale    = flag.String("scale", "bench", "configuration scale: bench or test")
+		only     = flag.String("only", "", "comma-separated subset, e.g. tableI,fig8,fig18")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
+		format   = flag.String("format", "text", "table output format: text, csv, or json")
 	)
 	flag.Parse()
 
-	var cfg dcasim.Config
-	switch *scale {
-	case "bench":
-		cfg = dcasim.BenchConfig()
-	case "test":
-		cfg = dcasim.TestConfig()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
+	// Validate before any simulation: a typo must not cost a full
+	// bench-scale sweep before failing at the first table.
+	if err := stats.CheckFormat(*format); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg, err := config.ParsePreset(*scale)
+	if err != nil || *scale == "paper" {
+		log.Fatalf("unknown scale %q (want bench or test)", *scale)
 	}
 	cfg.Seed = *seed
 
@@ -52,6 +63,13 @@ func main() {
 	mixes = mixes[:*nmixes]
 
 	runner := dcasim.NewRunner(cfg, mixes, *workers)
+	if *cacheDir != "" {
+		cache, err := rescache.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner.SetCache(cache)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -69,21 +87,26 @@ func main() {
 	entries := []entry{
 		{"tableI", "Table I: workload groupings", func() (*stats.Table, error) { return exp.TableI(mixes), nil }},
 		{"tableII", "Table II: system parameters", func() (*stats.Table, error) { return runner.TableII(), nil }},
-		{"fig8", "Fig. 8: average speedup (normalized to CD)", runner.Fig8},
-		{"fig9", "Fig. 9: average speedup with remapping (normalized to CD w/o remap)", runner.Fig9},
-		{"fig10", "Fig. 10: per-workload speedup, set-associative", runner.Fig10},
-		{"fig11", "Fig. 11: per-workload speedup, direct-mapped", runner.Fig11},
-		{"fig12", "Fig. 12: L2 miss latency improvement, set-associative", runner.Fig12},
-		{"fig13", "Fig. 13: L2 miss latency improvement, direct-mapped", runner.Fig13},
-		{"fig14", "Fig. 14: accesses per turnaround, set-associative", runner.Fig14},
-		{"fig15", "Fig. 15: accesses per turnaround, direct-mapped", runner.Fig15},
-		{"fig16", "Fig. 16: row buffer hit rate, set-associative", runner.Fig16},
-		{"fig17", "Fig. 17: row buffer hit rate, direct-mapped", runner.Fig17},
-		{"fig18", "Fig. 18: DRAM tag accesses vs tag cache size", runner.Fig18},
-		{"fig19", "Fig. 19: speedup under Lee DRAM-aware writeback (direct-mapped)", runner.Fig19},
-		{"twtr", "Extension: tWTR sensitivity (direct-mapped; paper §V claim)", runner.TWTRSweep},
-		{"sched", "Extension: DCA gain under other base schedulers (paper §IV-B claim)", runner.SchedulerStudy},
-		{"bear", "Extension: ideal BEAR writeback probe (direct-mapped; paper §VII claim)", runner.BEARStudy},
+	}
+	for _, spec := range exp.Figures {
+		spec := spec
+		entries = append(entries, entry{spec.Name, spec.Title,
+			func() (*stats.Table, error) { return runner.Table(spec) }})
+	}
+
+	// A typoed -only name must fail loudly, not silently select nothing
+	// (an empty selection would exit 0 and turn a CI smoke green while
+	// exercising zero simulations).
+	known := map[string]bool{}
+	var names []string
+	for _, e := range entries {
+		known[strings.ToLower(e.name)] = true
+		names = append(names, e.name)
+	}
+	for w := range want {
+		if !known[w] {
+			log.Fatalf("unknown -only entry %q (have %s)", w, strings.Join(names, ","))
+		}
 	}
 
 	start := time.Now()
@@ -96,10 +119,34 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}
-		fmt.Printf("== %s ==\n%s", e.title, tbl)
+		switch *format {
+		case "text":
+			fmt.Printf("== %s ==\n", e.title)
+			if err := tbl.Write(os.Stdout, *format); err != nil {
+				log.Fatal(err)
+			}
+		case "csv":
+			fmt.Printf("# %s\n", e.title)
+			if err := tbl.Write(os.Stdout, *format); err != nil {
+				log.Fatal(err)
+			}
+		case "json":
+			data, err := json.Marshal(struct {
+				Name  string       `json:"name"`
+				Title string       `json:"title"`
+				Table *stats.Table `json:"table"`
+			}{e.name, e.title, tbl})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s\n", data)
+		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.name, time.Since(t0).Round(time.Millisecond))
 		fmt.Println()
 	}
-	fmt.Fprintf(os.Stderr, "[all selected experiments done in %v over %d mixes]\n",
-		time.Since(start).Round(time.Millisecond), len(mixes))
+	if err := runner.CacheErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "[cache write failed: %v]\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "[all selected experiments done in %v over %d mixes; %d simulations executed]\n",
+		time.Since(start).Round(time.Millisecond), len(mixes), runner.SimRuns())
 }

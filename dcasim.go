@@ -27,6 +27,7 @@ import (
 	"dcasim/internal/core"
 	"dcasim/internal/dcache"
 	"dcasim/internal/exp"
+	"dcasim/internal/rescache"
 	"dcasim/internal/sim"
 	"dcasim/internal/stats"
 	"dcasim/internal/workload"
@@ -96,3 +97,29 @@ func BenchmarkNames() []string { return workload.Names() }
 func NewRunner(base Config, mixes []Mix, workers int) *Runner {
 	return exp.NewRunner(base, mixes, workers)
 }
+
+// ResultCache is the persistent content-addressed result cache; attach
+// one to a Runner with SetCache to make repeated evaluations free.
+type ResultCache = rescache.Cache
+
+// OpenResultCache opens (creating if needed) a result cache directory.
+func OpenResultCache(dir string) (*ResultCache, error) { return rescache.Open(dir) }
+
+// SweepSpec is a serializable scenario sweep (see internal/exp and
+// examples/sweep).
+type SweepSpec = exp.SweepSpec
+
+// LoadSweep reads and validates a sweep spec file.
+func LoadSweep(path string) (SweepSpec, error) { return exp.LoadSweep(path) }
+
+// RunSweep evaluates a sweep spec; cache may be nil.
+func RunSweep(spec SweepSpec, workers int, cache *ResultCache) (*Table, *Runner, error) {
+	return exp.RunSweep(spec, workers, cache)
+}
+
+// LoadConfig reads a configuration written by SaveConfig (a versioned
+// JSON envelope; see internal/config).
+func LoadConfig(path string) (Config, error) { return config.Load(path) }
+
+// SaveConfig writes a configuration as versioned JSON.
+func SaveConfig(path string, cfg Config) error { return config.Save(path, cfg) }

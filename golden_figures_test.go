@@ -1,0 +1,77 @@
+package dcasim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcasim/internal/exp"
+	"dcasim/internal/stats"
+)
+
+// goldenFigures renders every experiment driver — Tables I–II, Figs. 8–19,
+// and the three extension studies — at the test scale over two mixes. The
+// file pins the drivers' numeric output bit-for-bit, so a refactor of the
+// experiment layer (e.g. replacing the hand-rolled enumeration with
+// declarative specs) must reproduce the exact same tables.
+func goldenFigures() (string, error) {
+	mixes := TableIMixes()[:2]
+	r := NewRunner(TestConfig(), mixes, 0)
+	entries := []struct {
+		name string
+		run  func() (*stats.Table, error)
+	}{
+		{"tableI", func() (*stats.Table, error) { return exp.TableI(mixes), nil }},
+		{"tableII", func() (*stats.Table, error) { return r.TableII(), nil }},
+		{"fig8", r.Fig8},
+		{"fig9", r.Fig9},
+		{"fig10", r.Fig10},
+		{"fig11", r.Fig11},
+		{"fig12", r.Fig12},
+		{"fig13", r.Fig13},
+		{"fig14", r.Fig14},
+		{"fig15", r.Fig15},
+		{"fig16", r.Fig16},
+		{"fig17", r.Fig17},
+		{"fig18", r.Fig18},
+		{"fig19", r.Fig19},
+		{"twtr", r.TWTRSweep},
+		{"sched", r.SchedulerStudy},
+		{"bear", r.BEARStudy},
+	}
+	var b strings.Builder
+	for _, e := range entries {
+		tbl, err := e.run()
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(&b, "== %s ==\n%s\n", e.name, tbl)
+	}
+	return b.String(), nil
+}
+
+// TestGoldenFigures pins every figure and table driver bit-for-bit.
+// Regenerate (only when an intentional model change lands) with:
+//
+//	go test -run TestGoldenFigures -update .
+func TestGoldenFigures(t *testing.T) {
+	got, err := goldenFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_figures.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("figure drivers diverged from golden file:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}

@@ -194,6 +194,18 @@ func (c Config) Validate() error {
 	if err := c.CtrlConfig().Validate(); err != nil {
 		return err
 	}
+	// With an explicit Ctrl the controller consumes Ctrl.Design and
+	// Ctrl.Algorithm, so a diverging top-level value would be silently
+	// inert — yet still change the config hash, mislabeling cached
+	// results. Reject the divergence instead.
+	if c.Ctrl != nil {
+		if c.Ctrl.Design != c.Design {
+			return fmt.Errorf("config: Design %v diverges from Ctrl.Design %v (the controller uses Ctrl.Design)", c.Design, c.Ctrl.Design)
+		}
+		if c.Ctrl.Algorithm != c.Algorithm {
+			return fmt.Errorf("config: Algorithm %v diverges from Ctrl.Algorithm %v (the controller uses Ctrl.Algorithm)", c.Algorithm, c.Ctrl.Algorithm)
+		}
+	}
 	switch {
 	// On replay the trace header supplies the run budgets and the
 	// working-set scale is unused, so both may be left zero.

@@ -1,0 +1,198 @@
+package config
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion identifies the serialized Config layout. It is folded
+// into Config.Hash(), so bumping it invalidates every content-addressed
+// cache entry at once: bump whenever a Config field is added, removed,
+// renamed, or changes meaning — anything that would make two different
+// simulations hash alike, or one simulation hash differently than before
+// for no behavioural reason.
+const SchemaVersion = 1
+
+// envelope is the on-disk form of Save/Load: the schema version guards
+// against silently decoding a file written by an incompatible layout.
+type envelope struct {
+	Schema int    `json:"schema"`
+	Config Config `json:"config"`
+}
+
+// Canonical returns the canonical JSON encoding of the configuration:
+// struct-declaration field order, string enum names, times in integer
+// picoseconds, no insignificant whitespace. Two configs are behaviourally
+// identical under this schema iff their canonical encodings are equal,
+// which is what makes Hash usable as a cache key.
+func (c Config) Canonical() ([]byte, error) {
+	return json.Marshal(c)
+}
+
+// Hash returns the content address of the configuration: a hex SHA-256
+// over the schema version and the canonical encoding. It panics on a
+// non-marshalable config (only possible with out-of-range enum values),
+// matching the many fmt/stats helpers that treat impossible inputs as
+// programmer errors.
+func (c Config) Hash() string {
+	enc, err := c.Canonical()
+	if err != nil {
+		panic(fmt.Sprintf("config: hashing unmarshalable config: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "dcasim-config-v%d:", SchemaVersion)
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Save writes the configuration to path as indented JSON inside a
+// schema-versioned envelope.
+func Save(path string, c Config) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(envelope{Schema: SchemaVersion, Config: c}); err != nil {
+		return fmt.Errorf("config: encode %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return nil
+}
+
+// Load reads a configuration written by Save. Unknown fields and schema
+// mismatches are errors: a config file drives cache keys, so a typoed
+// field silently decoding to the default would poison every downstream
+// result.
+func Load(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		return Config{}, fmt.Errorf("config: decode %s: %w", path, err)
+	}
+	// Reject trailing content: a second concatenated document (say, a
+	// duplicated paste) would otherwise be silently ignored, and edits
+	// made to it would never reach the run.
+	if _, err := dec.Token(); err != io.EOF {
+		return Config{}, fmt.Errorf("config: %s: trailing data after the configuration document", path)
+	}
+	if env.Schema != SchemaVersion {
+		return Config{}, fmt.Errorf("config: %s has schema %d, this build expects %d", path, env.Schema, SchemaVersion)
+	}
+	return env.Config, nil
+}
+
+// ParsePreset returns the named preset configuration ("paper", "bench",
+// or "test") — the scale switch every command used to hand-roll.
+func ParsePreset(s string) (Config, error) {
+	switch s {
+	case "paper":
+		return Paper(), nil
+	case "bench":
+		return Bench(), nil
+	case "test":
+		return Test(), nil
+	}
+	return Config{}, fmt.Errorf("config: unknown scale %q (want paper, bench, or test)", s)
+}
+
+// Patch overlays partial configurations, given as JSON objects, onto c,
+// applying them in order. Nested objects merge recursively (so
+// {"Timing":{"TWTR":2500}} changes one timing parameter and keeps the
+// rest); arrays and scalars replace. Unknown fields anywhere in a patch
+// are errors.
+//
+// A patch touching Ctrl while Ctrl is nil first materializes the
+// effective controller parameters (CtrlConfig(), i.e. the Table II
+// defaults for the design selected by the same patch): a single-knob
+// override like {"Ctrl":{"FlushFactor":2}} edits the machine the run
+// would actually use instead of producing a zeroed controller config.
+func (c Config) Patch(patches ...json.RawMessage) (Config, error) {
+	out := c
+	for _, p := range patches {
+		if len(p) == 0 {
+			continue
+		}
+		var pm map[string]interface{}
+		dec := json.NewDecoder(bytes.NewReader(p))
+		dec.UseNumber() // keep int64 fields (times, budgets, seeds) exact
+		if err := dec.Decode(&pm); err != nil {
+			return Config{}, fmt.Errorf("config: decode patch %s: %w", p, err)
+		}
+		ctrlPatch, hasCtrl := pm["Ctrl"]
+		delete(pm, "Ctrl")
+		var err error
+		if out, err = out.applyPatchMap(pm); err != nil {
+			return Config{}, err
+		}
+		if !hasCtrl {
+			continue
+		}
+		if ctrlPatch == nil {
+			out.Ctrl = nil // explicit "Ctrl": null restores the defaults
+			continue
+		}
+		if out.Ctrl == nil {
+			eff := out.CtrlConfig()
+			out.Ctrl = &eff
+		}
+		if out, err = out.applyPatchMap(map[string]interface{}{"Ctrl": ctrlPatch}); err != nil {
+			return Config{}, err
+		}
+	}
+	return out, nil
+}
+
+// applyPatchMap deep-merges one decoded patch object onto the config's
+// canonical JSON and strictly re-decodes the result.
+func (c Config) applyPatchMap(pm map[string]interface{}) (Config, error) {
+	if len(pm) == 0 {
+		return c, nil
+	}
+	base, err := c.Canonical()
+	if err != nil {
+		return Config{}, fmt.Errorf("config: encode base: %w", err)
+	}
+	var m map[string]interface{}
+	baseDec := json.NewDecoder(bytes.NewReader(base))
+	baseDec.UseNumber()
+	if err := baseDec.Decode(&m); err != nil {
+		return Config{}, fmt.Errorf("config: decode base: %w", err)
+	}
+	mergeJSON(m, pm)
+	merged, err := json.Marshal(m)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: encode merged: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(merged))
+	dec.DisallowUnknownFields()
+	var out Config
+	if err := dec.Decode(&out); err != nil {
+		return Config{}, fmt.Errorf("config: apply patch: %w", err)
+	}
+	return out, nil
+}
+
+// mergeJSON merges src into dst recursively: object-into-object merges
+// per key, anything else replaces the destination value.
+func mergeJSON(dst, src map[string]interface{}) {
+	for k, sv := range src {
+		if sm, ok := sv.(map[string]interface{}); ok {
+			if dm, ok := dst[k].(map[string]interface{}); ok {
+				mergeJSON(dm, sm)
+				continue
+			}
+		}
+		dst[k] = sv
+	}
+}

@@ -32,7 +32,10 @@
 // tie-breaking, per the paper's methodology.
 package core
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Design selects one of the three controller organisations.
 type Design int
@@ -67,6 +70,30 @@ func ParseDesign(s string) (Design, error) {
 		return DCA, nil
 	}
 	return CD, fmt.Errorf("core: unknown design %q", s)
+}
+
+// MarshalJSON encodes the design as its canonical name so serialized
+// configurations read "DCA" rather than an opaque enum ordinal.
+func (d Design) MarshalJSON() ([]byte, error) {
+	switch d {
+	case CD, ROD, DCA:
+		return []byte(`"` + d.String() + `"`), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown design %d", int(d))
+}
+
+// UnmarshalJSON accepts the same names ParseDesign does.
+func (d *Design) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("core: design must be a JSON string: %s", b)
+	}
+	v, err := ParseDesign(s)
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
 }
 
 // RequestType classifies the DRAM-cache request an access belongs to.
@@ -116,6 +143,43 @@ func (a Algorithm) String() string {
 		return "FCFS"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts a name ("bliss", "fr-fcfs", "fcfs") to an
+// Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "bliss", "BLISS":
+		return AlgBLISS, nil
+	case "fr-fcfs", "FR-FCFS", "frfcfs":
+		return AlgFRFCFS, nil
+	case "fcfs", "FCFS":
+		return AlgFCFS, nil
+	}
+	return AlgBLISS, fmt.Errorf("core: unknown scheduling algorithm %q", s)
+}
+
+// MarshalJSON encodes the algorithm as its canonical name.
+func (a Algorithm) MarshalJSON() ([]byte, error) {
+	switch a {
+	case AlgBLISS, AlgFRFCFS, AlgFCFS:
+		return []byte(`"` + a.String() + `"`), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown algorithm %d", int(a))
+}
+
+// UnmarshalJSON accepts the same names ParseAlgorithm does.
+func (a *Algorithm) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("core: algorithm must be a JSON string: %s", b)
+	}
+	v, err := ParseAlgorithm(s)
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
 }
 
 // Config holds the per-channel queue and threshold parameters (Table II).

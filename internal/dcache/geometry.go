@@ -10,6 +10,7 @@
 package dcache
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
 
@@ -37,6 +38,41 @@ func (o Org) String() string {
 		return "direct-mapped"
 	}
 	return "set-assoc"
+}
+
+// ParseOrg converts a name to an Org. Both the short CLI spellings
+// ("sa", "dm") and the canonical String forms are accepted.
+func ParseOrg(s string) (Org, error) {
+	switch s {
+	case "sa", "SA", "set-assoc", "setassoc":
+		return SetAssoc, nil
+	case "dm", "DM", "direct-mapped", "directmapped":
+		return DirectMapped, nil
+	}
+	return SetAssoc, fmt.Errorf("dcache: unknown organization %q (want sa or dm)", s)
+}
+
+// MarshalJSON encodes the organization as its canonical name.
+func (o Org) MarshalJSON() ([]byte, error) {
+	switch o {
+	case SetAssoc, DirectMapped:
+		return []byte(`"` + o.String() + `"`), nil
+	}
+	return nil, fmt.Errorf("dcache: cannot marshal unknown organization %d", int(o))
+}
+
+// UnmarshalJSON accepts the same names ParseOrg does.
+func (o *Org) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("dcache: organization must be a JSON string: %s", b)
+	}
+	v, err := ParseOrg(s)
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
 }
 
 // Layout constants shared by the organizations.

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"dcasim/internal/config"
-	"dcasim/internal/core"
 	"dcasim/internal/dcache"
 	"dcasim/internal/workload"
 )
@@ -47,28 +46,26 @@ func TestFig8ShapeAndMemoization(t *testing.T) {
 	if !strings.Contains(out, "set-assoc") || !strings.Contains(out, "direct-mapped") {
 		t.Fatalf("Fig8 rows missing:\n%s", out)
 	}
-	runsAfter := len(r.results)
+	runsAfter := r.SimRuns()
 	// Rerunning must reuse every memoized simulation.
 	if _, err := r.Fig8(); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.results) != runsAfter {
-		t.Fatalf("Fig8 rerun launched new simulations: %d -> %d", runsAfter, len(r.results))
+	if r.SimRuns() != runsAfter {
+		t.Fatalf("Fig8 rerun launched new simulations: %d -> %d", runsAfter, r.SimRuns())
 	}
 }
 
 func TestFig8CDBaselineIsOne(t *testing.T) {
 	r := testRunner(t, 2)
-	if err := r.ensure(r.keysFor(dcache.SetAssoc, []bool{false}, false)); err != nil {
-		t.Fatal(err)
-	}
-	ws, err := r.normalizedWS(dcache.SetAssoc, core.CD, false, false)
+	tbl, err := r.Fig8()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, v := range ws {
-		if v != 1.0 {
-			t.Fatalf("CD normalized to itself should be exactly 1.0, mix %d gave %v", i, v)
+	// The CD column is normalized to itself, so it must render exactly 1.
+	for _, row := range tbl.Rows() {
+		if row[1] != "1.000" {
+			t.Fatalf("CD normalized to itself should be exactly 1.000, row %v", row)
 		}
 	}
 }
@@ -78,10 +75,7 @@ func TestFiguresShareRuns(t *testing.T) {
 	if _, err := r.Fig10(); err != nil { // needs SA, all designs, both remaps
 		t.Fatal(err)
 	}
-	n := len(r.results)
-	for _, f := range []func() (interface{ String() string }, error){} {
-		_ = f
-	}
+	n := r.SimRuns()
 	if _, err := r.Fig12(); err != nil { // same runs, different metric
 		t.Fatal(err)
 	}
@@ -91,8 +85,8 @@ func TestFiguresShareRuns(t *testing.T) {
 	if _, err := r.Fig16(); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.results) != n {
-		t.Fatalf("figures 12/14/16 did not reuse figure 10's runs: %d -> %d", n, len(r.results))
+	if r.SimRuns() != n {
+		t.Fatalf("figures 12/14/16 did not reuse figure 10's runs: %d -> %d", n, r.SimRuns())
 	}
 }
 
@@ -123,31 +117,31 @@ func TestFig19Runs(t *testing.T) {
 
 func TestAloneIPCMemoized(t *testing.T) {
 	r := testRunner(t, 1)
-	if err := r.ensureAlone(dcache.SetAssoc); err != nil {
+	if err := r.Ensure(r.aloneConfigs(dcache.SetAssoc)); err != nil {
 		t.Fatal(err)
 	}
-	n := len(r.alone)
+	n := r.SimRuns()
 	if n == 0 {
 		t.Fatal("no alone IPCs computed")
 	}
-	if err := r.ensureAlone(dcache.SetAssoc); err != nil {
+	if err := r.Ensure(r.aloneConfigs(dcache.SetAssoc)); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.alone) != n {
-		t.Fatal("ensureAlone recomputed cached entries")
+	if r.SimRuns() != n {
+		t.Fatal("re-ensuring alone configs recomputed cached entries")
 	}
 }
 
-// TestAloneIPCSingleflight hammers the same alone keys from many
+// TestAloneIPCSingleflight hammers the same alone configs from many
 // goroutines at once and asserts every simulation ran exactly once: the
 // in-flight guard must close the check-then-compute window that used to
 // let two drivers duplicate a full run.
 func TestAloneIPCSingleflight(t *testing.T) {
 	r := testRunner(t, 1)
 	mix := r.Mixes()[0]
-	keys := make(map[aloneKey]bool)
+	distinct := make(map[string]bool)
 	for _, b := range mix.Benchmarks {
-		keys[aloneKey{bench: b, org: dcache.SetAssoc}] = true
+		distinct[b] = true
 	}
 
 	const callers = 8
@@ -173,8 +167,8 @@ func TestAloneIPCSingleflight(t *testing.T) {
 			}
 		}
 	}
-	if got, want := r.aloneRuns, int64(len(keys)); got != want {
-		t.Fatalf("executed %d alone runs for %d distinct keys (duplicated work)", got, want)
+	if got, want := r.SimRuns(), int64(len(distinct)); got != want {
+		t.Fatalf("executed %d alone runs for %d distinct benchmarks (duplicated work)", got, want)
 	}
 	if len(r.inflight) != 0 {
 		t.Fatalf("%d in-flight records leaked", len(r.inflight))

@@ -1,10 +1,7 @@
 package exp
 
 import (
-	"fmt"
-
 	"dcasim/internal/core"
-	"dcasim/internal/dcache"
 	"dcasim/internal/simtime"
 	"dcasim/internal/stats"
 )
@@ -14,20 +11,17 @@ import (
 //
 //   - §V argues the conservative tWTR assumption (5 ns instead of
 //     JEDEC's 10 ns) "will only lower the speedup of our design over
-//     ROD" — TWTRSweep verifies DCA's margin over ROD grows with tWTR.
+//     ROD" — the twtr spec verifies DCA's margin over ROD grows with
+//     tWTR.
 //   - §IV-B notes the scheme "is not limited to any scheduling
-//     algorithm" — SchedulerStudy swaps BLISS for FR-FCFS and FCFS.
+//     algorithm" — the sched spec swaps BLISS for FR-FCFS and FCFS.
 //   - §VII argues DCA composes with BEAR by scheduling the residual
-//     accesses — BEARStudy enables an ideal writeback-probe filter.
-
-// twtrKey maps a tWTR value to its run-key override: the Table II value
-// (5 ns) maps to zero so those runs are shared with the main figures.
-func twtrKey(tw simtime.Time) int64 {
-	if tw == simtime.FromNS(5) {
-		return 0
-	}
-	return int64(tw)
-}
+//     accesses — the bear spec enables an ideal writeback-probe filter.
+//
+// Like the figures, each study is a declarative TableSpec; the Table II
+// tWTR value patches to the very bytes the base config already carries,
+// so those runs hash identically to — and are shared with — the main
+// figures' runs.
 
 // TWTRValues are the write-to-read turnaround latencies swept: the
 // optimistic half-JEDEC value the paper assumes conservatively low
@@ -38,139 +32,99 @@ var TWTRValues = []simtime.Time{
 	simtime.FromNS(10),
 }
 
-// TWTRSweep reports the average speedup of ROD and DCA over CD on the
-// direct-mapped organization as the write-to-read turnaround delay
-// varies. The paper's §V claim predicts DCA's edge over ROD widens as
-// tWTR grows (ROD pays per-access turnarounds; CD and DCA amortise
-// them).
-func (r *Runner) TWTRSweep() (*stats.Table, error) {
-	org := dcache.DirectMapped
-	var keys []runKey
-	for _, tw := range TWTRValues {
-		for _, m := range r.mixes {
-			for _, d := range designs {
-				keys = append(keys, runKey{mixID: m.ID, org: org, design: d, twtrPS: twtrKey(tw)})
-			}
-		}
-	}
-	if err := r.ensure(keys); err != nil {
-		return nil, err
-	}
-	if err := r.ensureAlone(org); err != nil {
-		return nil, err
-	}
-	t := stats.NewTable("tWTR", "ROD vs CD", "DCA vs CD", "DCA vs ROD")
-	for _, tw := range TWTRValues {
-		speedup := func(d core.Design) (float64, error) {
-			var vals []float64
-			for _, m := range r.mixes {
-				k := runKey{mixID: m.ID, org: org, design: d, twtrPS: twtrKey(tw)}
-				base := runKey{mixID: m.ID, org: org, design: core.CD, twtrPS: twtrKey(tw)}
-				ws, err := r.weightedSpeedup(k)
-				if err != nil {
-					return 0, err
-				}
-				wsBase, err := r.weightedSpeedup(base)
-				if err != nil {
-					return 0, err
-				}
-				vals = append(vals, ws/wsBase)
-			}
-			return stats.GeoMean(vals), nil
-		}
-		rod, err := speedup(core.ROD)
-		if err != nil {
-			return nil, err
-		}
-		dca, err := speedup(core.DCA)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowf(tw.String(), rod, dca, dca/rod)
-	}
-	return t, nil
-}
-
-// SchedulerAlgorithms are the base algorithms swept by SchedulerStudy.
+// SchedulerAlgorithms are the base algorithms swept by the sched study.
 var SchedulerAlgorithms = []core.Algorithm{core.AlgBLISS, core.AlgFRFCFS, core.AlgFCFS}
 
-// SchedulerStudy reports DCA's speedup over CD under different base
-// scheduling algorithms on both organizations, testing the paper's
-// claim that the scheme is not tied to BLISS.
-func (r *Runner) SchedulerStudy() (*stats.Table, error) {
-	t := stats.NewTable("algorithm", "org", "DCA vs CD")
-	for _, alg := range SchedulerAlgorithms {
-		for _, org := range orgs {
-			var keys []runKey
-			for _, m := range r.mixes {
-				keys = append(keys,
-					runKey{mixID: m.ID, org: org, design: core.CD, alg: alg},
-					runKey{mixID: m.ID, org: org, design: core.DCA, alg: alg})
-			}
-			if err := r.ensure(keys); err != nil {
-				return nil, err
-			}
-			if err := r.ensureAlone(org); err != nil {
-				return nil, err
-			}
-			var vals []float64
-			for _, m := range r.mixes {
-				ws, err := r.weightedSpeedup(runKey{mixID: m.ID, org: org, design: core.DCA, alg: alg})
-				if err != nil {
-					return nil, err
-				}
-				wsBase, err := r.weightedSpeedup(runKey{mixID: m.ID, org: org, design: core.CD, alg: alg})
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, ws/wsBase)
-			}
-			t.AddRowf(alg.String(), org.String(), stats.GeoMean(vals))
+func extensionSpecs() []TableSpec {
+	vsCD := func(d core.Design) ColSpec {
+		return ColSpec{
+			Header:   d.String() + " vs CD",
+			Patch:    raw(`{"Design":%q}`, d.String()),
+			Metric:   MetricWS,
+			Agg:      "geomean",
+			Baseline: raw(`{"Design":"CD"}`),
 		}
 	}
-	return t, nil
+
+	var twtrRows []RowSpec
+	for _, tw := range TWTRValues {
+		twtrRows = append(twtrRows, RowSpec{
+			Labels: []string{tw.String()},
+			Patch:  raw(`{"Timing":{"TWTR":%d}}`, int64(tw)),
+		})
+	}
+	twtr := TableSpec{
+		Name:    "twtr",
+		Title:   "Extension: tWTR sensitivity (direct-mapped; paper §V claim)",
+		Headers: []string{"tWTR"},
+		Patch:   raw(`{"Org":"direct-mapped",%s}`, pins),
+		Rows:    twtrRows,
+		Cols: []ColSpec{
+			vsCD(core.ROD),
+			vsCD(core.DCA),
+			{Header: "DCA vs ROD", Div: &[2]string{"DCA vs CD", "ROD vs CD"}},
+		},
+	}
+
+	var schedRows []RowSpec
+	for _, alg := range SchedulerAlgorithms {
+		for _, o := range orgs {
+			schedRows = append(schedRows, RowSpec{
+				Labels: []string{alg.String(), o.String()},
+				Patch:  raw(`{"Algorithm":%q,"Org":%q}`, alg.String(), o.String()),
+			})
+		}
+	}
+	sched := TableSpec{
+		Name:    "sched",
+		Title:   "Extension: DCA gain under other base schedulers (paper §IV-B claim)",
+		Headers: []string{"algorithm", "org"},
+		Patch:   raw(`{"XORRemap":false,"LeeWriteback":false,"TagCacheKB":0,"BEARProbe":false}`),
+		Rows:    schedRows,
+		Cols:    []ColSpec{vsCD(core.DCA)},
+	}
+
+	var bearRows []RowSpec
+	for _, d := range designs {
+		bearRows = append(bearRows, RowSpec{
+			Labels: []string{"BEAR+" + d.String()},
+			Patch:  raw(`{"Design":%q,"BEARProbe":true}`, d.String()),
+		})
+	}
+	bear := TableSpec{
+		Name:    "bear",
+		Title:   "Extension: ideal BEAR writeback probe (direct-mapped; paper §VII claim)",
+		Headers: []string{"design"},
+		Patch:   raw(`{"Org":"direct-mapped","XORRemap":false,"LeeWriteback":false,"TagCacheKB":0,"Algorithm":"BLISS"}`),
+		Rows:    bearRows,
+		Cols: []ColSpec{
+			{
+				Header:   "speedup vs CD",
+				Metric:   MetricWS,
+				Agg:      "geomean",
+				Baseline: raw(`{"Design":"CD","BEARProbe":false}`),
+			},
+			{
+				Header: "probes elided",
+				Metric: "bearElidedFrac",
+				Agg:    "mean",
+				Format: "pct0",
+			},
+		},
+	}
+
+	return []TableSpec{twtr, sched, bear}
 }
 
-// BEARStudy enables an ideal BEAR writeback-probe filter (writeback
-// hits skip their tag read) on the direct-mapped organization and
-// reports each design's speedup over plain CD, plus the fraction of
-// writeback probes the filter removed. DCA should retain an advantage
-// on the residual accesses, per the paper's related-work argument.
-func (r *Runner) BEARStudy() (*stats.Table, error) {
-	org := dcache.DirectMapped
-	var keys []runKey
-	for _, m := range r.mixes {
-		keys = append(keys, runKey{mixID: m.ID, org: org, design: core.CD})
-		for _, d := range designs {
-			keys = append(keys, runKey{mixID: m.ID, org: org, design: d, bear: true})
-		}
-	}
-	if err := r.ensure(keys); err != nil {
-		return nil, err
-	}
-	if err := r.ensureAlone(org); err != nil {
-		return nil, err
-	}
-	t := stats.NewTable("design", "speedup vs CD", "probes elided")
-	for _, d := range designs {
-		var vals, elided []float64
-		for _, m := range r.mixes {
-			k := runKey{mixID: m.ID, org: org, design: d, bear: true}
-			ws, err := r.weightedSpeedup(k)
-			if err != nil {
-				return nil, err
-			}
-			wsBase, err := r.weightedSpeedup(runKey{mixID: m.ID, org: org, design: core.CD})
-			if err != nil {
-				return nil, err
-			}
-			vals = append(vals, ws/wsBase)
-			res := r.result(k)
-			if res.DCache.WritebackReqs > 0 {
-				elided = append(elided, float64(res.DCache.BEARElided)/float64(res.DCache.WritebackReqs))
-			}
-		}
-		t.AddRowf("BEAR+"+d.String(), stats.GeoMean(vals), fmt.Sprintf("%.0f%%", 100*stats.Mean(elided)))
-	}
-	return t, nil
-}
+// TWTRSweep reports the average speedup of ROD and DCA over CD on the
+// direct-mapped organization as the write-to-read turnaround delay
+// varies (the twtr spec).
+func (r *Runner) TWTRSweep() (*stats.Table, error) { return r.Figure("twtr") }
+
+// SchedulerStudy reports DCA's speedup over CD under different base
+// scheduling algorithms on both organizations (the sched spec).
+func (r *Runner) SchedulerStudy() (*stats.Table, error) { return r.Figure("sched") }
+
+// BEARStudy reports each design's speedup over plain CD with an ideal
+// BEAR writeback-probe filter enabled (the bear spec).
+func (r *Runner) BEARStudy() (*stats.Table, error) { return r.Figure("bear") }

@@ -4,15 +4,29 @@ import (
 	"strings"
 	"testing"
 
+	"dcasim/internal/config"
 	"dcasim/internal/simtime"
 )
 
-func TestTWTRKeySharesBaseline(t *testing.T) {
-	if twtrKey(simtime.FromNS(5)) != 0 {
-		t.Fatal("the Table II tWTR must map to the baseline key for run reuse")
+// TestTWTRBaselineSharesRuns: patching the Table II tWTR value must
+// produce a config that hashes identically to the untouched base, so the
+// twtr study's 5 ns column reuses the main figures' runs instead of
+// re-simulating them.
+func TestTWTRBaselineSharesRuns(t *testing.T) {
+	base := config.Test()
+	patched, err := base.Patch(raw(`{"Timing":{"TWTR":%d}}`, int64(simtime.FromNS(5))))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if twtrKey(simtime.FromNS(10)) == 0 {
-		t.Fatal("non-default tWTR must get its own key")
+	if patched.Hash() != base.Hash() {
+		t.Fatal("the Table II tWTR patch must hash to the baseline config for run reuse")
+	}
+	other, err := base.Patch(raw(`{"Timing":{"TWTR":%d}}`, int64(simtime.FromNS(10))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Hash() == base.Hash() {
+		t.Fatal("a non-default tWTR must hash differently")
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"dcasim/internal/core"
@@ -12,277 +13,276 @@ import (
 var designs = []core.Design{core.CD, core.ROD, core.DCA}
 var orgs = []dcache.Org{dcache.SetAssoc, dcache.DirectMapped}
 
-// keysFor enumerates the runs needed for an organization across designs,
-// with and without remapping as requested.
-func (r *Runner) keysFor(org dcache.Org, remaps []bool, lee bool) []runKey {
-	var keys []runKey
-	for _, m := range r.mixes {
-		for _, d := range designs {
-			for _, rm := range remaps {
-				keys = append(keys, runKey{mixID: m.ID, org: org, design: d, remap: rm, lee: lee})
-			}
-		}
-	}
-	return keys
+// raw builds a JSON patch literal.
+func raw(format string, args ...interface{}) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(format, args...))
 }
 
-// normalizedWS returns, per mix, the weighted speedup of (design, remap)
-// normalized to CD without remapping — the paper's normalization for
-// Figs. 8–11.
-func (r *Runner) normalizedWS(org dcache.Org, design core.Design, remap, lee bool) ([]float64, error) {
-	var out []float64
-	for _, m := range r.mixes {
-		k := runKey{mixID: m.ID, org: org, design: design, remap: remap, lee: lee}
-		base := runKey{mixID: m.ID, org: org, design: core.CD, lee: lee}
-		ws, err := r.weightedSpeedup(k)
-		if err != nil {
-			return nil, err
-		}
-		wsBase, err := r.weightedSpeedup(base)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ws/wsBase)
-	}
-	return out, nil
-}
+// pins holds the paper-baseline values of every dimension the evaluation
+// sweeps. Each figure's table patch starts from these so a figure always
+// runs the paper's machine regardless of what the base config carries;
+// rows and columns then override the dimensions that figure studies —
+// exactly the fields the old hand-rolled run keys always set.
+const pins = `"XORRemap":false,"LeeWriteback":false,"TagCacheKB":0,"Algorithm":"BLISS","BEARProbe":false`
 
-// Fig8 reproduces the average normalized weighted speedup of CD, ROD, and
-// DCA for both organizations (no remapping), normalized to CD.
-func (r *Runner) Fig8() (*stats.Table, error) {
-	t := stats.NewTable("org", "CD", "ROD", "DCA")
-	for _, org := range orgs {
-		if err := r.ensure(r.keysFor(org, []bool{false}, false)); err != nil {
-			return nil, err
-		}
-		if err := r.ensureAlone(org); err != nil {
-			return nil, err
-		}
-		row := []interface{}{org.String()}
-		for _, d := range designs {
-			ws, err := r.normalizedWS(org, d, false, false)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.GeoMean(ws))
-		}
-		t.AddRowf(row...)
-	}
-	return t, nil
-}
+// normToCD is the paper's normalization baseline for every speedup
+// figure: the Conventional Design without remapping.
+var normToCD = raw(`{"Design":"CD","XORRemap":false}`)
 
-// Fig9 reproduces the average speedups with the XOR remapping scheme,
-// still normalized to CD without remapping.
-func (r *Runner) Fig9() (*stats.Table, error) {
-	t := stats.NewTable("org", "XOR+CD", "XOR+ROD", "XOR+DCA")
-	for _, org := range orgs {
-		if err := r.ensure(r.keysFor(org, []bool{false, true}, false)); err != nil {
-			return nil, err
-		}
-		if err := r.ensureAlone(org); err != nil {
-			return nil, err
-		}
-		row := []interface{}{org.String()}
-		for _, d := range designs {
-			ws, err := r.normalizedWS(org, d, true, false)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.GeoMean(ws))
-		}
-		t.AddRowf(row...)
-	}
-	return t, nil
-}
-
-// perWorkload builds the per-mix speedup table of Figs. 10 (SA) and 11
-// (DM): all six designs normalized to CD without remapping.
-func (r *Runner) perWorkload(org dcache.Org) (*stats.Table, error) {
-	if err := r.ensure(r.keysFor(org, []bool{false, true}, false)); err != nil {
-		return nil, err
-	}
-	if err := r.ensureAlone(org); err != nil {
-		return nil, err
-	}
-	t := stats.NewTable("mix", "CD", "ROD", "DCA", "XOR+CD", "XOR+ROD", "XOR+DCA")
-	series := make(map[string][]float64)
-	for _, rm := range []bool{false, true} {
+// designCols builds one weighted-speedup column per design, normalized
+// to CD, with an optional remapping pass and header prefix ("XOR+").
+func designCols(remaps []bool) []ColSpec {
+	var cols []ColSpec
+	for _, rm := range remaps {
 		for _, d := range designs {
 			name := d.String()
 			if rm {
 				name = "XOR+" + name
 			}
-			ws, err := r.normalizedWS(org, d, rm, false)
-			if err != nil {
-				return nil, err
-			}
-			series[name] = ws
+			cols = append(cols, ColSpec{
+				Header:   name,
+				Patch:    raw(`{"Design":%q,"XORRemap":%v}`, d.String(), rm),
+				Metric:   MetricWS,
+				Agg:      "geomean",
+				Baseline: normToCD,
+			})
 		}
 	}
-	for i, m := range r.mixes {
-		t.AddRowf(fmt.Sprintf("%d(%s)", m.ID, m.Benchmarks[0]),
-			series["CD"][i], series["ROD"][i], series["DCA"][i],
-			series["XOR+CD"][i], series["XOR+ROD"][i], series["XOR+DCA"][i])
-	}
-	t.AddRowf("gmean",
-		stats.GeoMean(series["CD"]), stats.GeoMean(series["ROD"]), stats.GeoMean(series["DCA"]),
-		stats.GeoMean(series["XOR+CD"]), stats.GeoMean(series["XOR+ROD"]), stats.GeoMean(series["XOR+DCA"]))
-	return t, nil
+	return cols
 }
 
-// Fig10 is the per-workload speedup table for the set-associative cache.
-func (r *Runner) Fig10() (*stats.Table, error) { return r.perWorkload(dcache.SetAssoc) }
-
-// Fig11 is the per-workload speedup table for the direct-mapped cache.
-func (r *Runner) Fig11() (*stats.Table, error) { return r.perWorkload(dcache.DirectMapped) }
-
-// missLatency builds the L2-miss-latency improvement table of Figs. 12
-// (SA) and 13 (DM): mean improvement over CD-without-remapping, in
-// percent (higher is better).
-func (r *Runner) missLatency(org dcache.Org) (*stats.Table, error) {
-	if err := r.ensure(r.keysFor(org, []bool{false, true}, false)); err != nil {
-		return nil, err
-	}
-	t := stats.NewTable("design", "L2 miss latency improvement (%)")
-	base := make([]float64, len(r.mixes))
-	for i, m := range r.mixes {
-		base[i] = r.result(runKey{mixID: m.ID, org: org, design: core.CD}).L2MissLatencyNS
-	}
-	for _, rm := range []bool{false, true} {
+// designRemapRows builds one row per (remap, design) variant carrying a
+// single metric column's value — the layout of Figs. 12–17.
+func designRemapRows(remaps []bool) []RowSpec {
+	var rows []RowSpec
+	for _, rm := range remaps {
 		for _, d := range designs {
 			name := d.String()
 			if rm {
 				name = "XOR+" + name
 			}
-			var imps []float64
-			for i, m := range r.mixes {
-				lat := r.result(runKey{mixID: m.ID, org: org, design: d, remap: rm}).L2MissLatencyNS
-				imps = append(imps, 100*(base[i]-lat)/base[i])
-			}
-			t.AddRowf(name, stats.Mean(imps))
+			rows = append(rows, RowSpec{
+				Labels: []string{name},
+				Patch:  raw(`{"Design":%q,"XORRemap":%v}`, d.String(), rm),
+			})
 		}
 	}
-	return t, nil
+	return rows
 }
 
-// Fig12 is the set-associative L2 miss latency improvement.
-func (r *Runner) Fig12() (*stats.Table, error) { return r.missLatency(dcache.SetAssoc) }
-
-// Fig13 is the direct-mapped L2 miss latency improvement.
-func (r *Runner) Fig13() (*stats.Table, error) { return r.missLatency(dcache.DirectMapped) }
-
-// turnarounds builds the accesses-per-turnaround table of Figs. 14/15
-// (no remapping — the paper observes remapping does not change it).
-func (r *Runner) turnarounds(org dcache.Org) (*stats.Table, error) {
-	if err := r.ensure(r.keysFor(org, []bool{false}, false)); err != nil {
-		return nil, err
+// orgRows maps both organizations to table rows.
+func orgRows() []RowSpec {
+	var rows []RowSpec
+	for _, o := range orgs {
+		rows = append(rows, RowSpec{Labels: []string{o.String()}, Patch: raw(`{"Org":%q}`, o.String())})
 	}
-	t := stats.NewTable("design", "accesses per turnaround")
-	for _, d := range designs {
-		var vals []float64
-		for _, m := range r.mixes {
-			vals = append(vals, r.result(runKey{mixID: m.ID, org: org, design: d}).AccessesPerTurnaround())
-		}
-		t.AddRowf(d.String(), stats.Mean(vals))
-	}
-	return t, nil
+	return rows
 }
 
-// Fig14 is accesses per turnaround, set-associative.
-func (r *Runner) Fig14() (*stats.Table, error) { return r.turnarounds(dcache.SetAssoc) }
-
-// Fig15 is accesses per turnaround, direct-mapped.
-func (r *Runner) Fig15() (*stats.Table, error) { return r.turnarounds(dcache.DirectMapped) }
-
-// rowHits builds the read row-buffer hit-rate table of Figs. 16/17.
-func (r *Runner) rowHits(org dcache.Org) (*stats.Table, error) {
-	if err := r.ensure(r.keysFor(org, []bool{false, true}, false)); err != nil {
-		return nil, err
+// perOrg stamps two copies of a per-organization figure spec, one per
+// organization (the paper presents SA and DM variants side by side).
+// The template's Patch slot belongs to perOrg (org + the paper pins);
+// a figure needing more table-wide overrides (like fig19's Lee flag)
+// writes its spec by hand, so a non-empty template patch is a
+// programming error rather than something to silently discard.
+func perOrg(names, titles [2]string, spec TableSpec) []TableSpec {
+	if len(spec.Patch) != 0 {
+		panic("exp: perOrg template must not set Patch — it is replaced per organization")
 	}
-	t := stats.NewTable("design", "row buffer hit rate")
-	for _, rm := range []bool{false, true} {
-		for _, d := range designs {
-			name := d.String()
-			if rm {
-				name = "XOR+" + name
-			}
-			var vals []float64
-			for _, m := range r.mixes {
-				vals = append(vals, r.result(runKey{mixID: m.ID, org: org, design: d, remap: rm}).ReadRowHitRate())
-			}
-			t.AddRowf(name, stats.Mean(vals))
-		}
+	out := make([]TableSpec, 2)
+	for i, o := range orgs {
+		s := spec
+		s.Name, s.Title = names[i], titles[i]
+		s.Patch = raw(`{"Org":%q,%s}`, o.String(), pins)
+		out[i] = s
 	}
-	return t, nil
+	return out
 }
-
-// Fig16 is the read row-buffer hit rate, set-associative.
-func (r *Runner) Fig16() (*stats.Table, error) { return r.rowHits(dcache.SetAssoc) }
-
-// Fig17 is the read row-buffer hit rate, direct-mapped.
-func (r *Runner) Fig17() (*stats.Table, error) { return r.rowHits(dcache.DirectMapped) }
 
 // Fig18Sizes are the SRAM tag-cache capacities swept by Fig. 18.
 var Fig18Sizes = []int{64, 128, 192, 256, 384, 512}
 
-// Fig18 reproduces the tag-cache study: DRAM tag accesses for various
-// tag-cache sizes on the set-associative organization, normalized to the
-// no-tag-cache baseline. The paper's observation is that a small tag
-// cache *increases* DRAM tag traffic (≈2× at 192 KB) because tag blocks
-// have little temporal locality and the row-granular prefetch multiplies
-// fetches.
-func (r *Runner) Fig18() (*stats.Table, error) {
-	org := dcache.SetAssoc
-	var keys []runKey
-	for _, m := range r.mixes {
-		keys = append(keys, runKey{mixID: m.ID, org: org, design: core.CD})
-		for _, kb := range Fig18Sizes {
-			keys = append(keys, runKey{mixID: m.ID, org: org, design: core.CD, tagKB: kb})
-		}
-	}
-	if err := r.ensure(keys); err != nil {
-		return nil, err
-	}
-	t := stats.NewTable("tag cache", "normalized DRAM tag accesses", "tag cache hit rate")
+func fig18Rows() []RowSpec {
+	var rows []RowSpec
 	for _, kb := range Fig18Sizes {
-		var ratios, hitRates []float64
-		for _, m := range r.mixes {
-			base := r.result(runKey{mixID: m.ID, org: org, design: core.CD})
-			with := r.result(runKey{mixID: m.ID, org: org, design: core.CD, tagKB: kb})
-			if base.DRAMTagAccesses > 0 {
-				ratios = append(ratios, float64(with.DRAMTagAccesses)/float64(base.DRAMTagAccesses))
-			}
-			if with.TagCacheLookups > 0 {
-				hitRates = append(hitRates, float64(with.TagCacheHits)/float64(with.TagCacheLookups))
-			}
-		}
-		t.AddRowf(fmt.Sprintf("%dKB", kb), stats.Mean(ratios), stats.Mean(hitRates))
+		rows = append(rows, RowSpec{
+			Labels: []string{fmt.Sprintf("%dKB", kb)},
+			Patch:  raw(`{"TagCacheKB":%d}`, kb),
+		})
 	}
-	return t, nil
+	return rows
 }
 
-// Fig19 reproduces the Lee DRAM-aware writeback study on the
-// direct-mapped organization: CD, ROD, and DCA with the Lee policy
-// enabled in the L2, normalized to CD+LEE. The paper reports DCA
-// continuing to outperform CD by ≈7 % under this policy.
-func (r *Runner) Fig19() (*stats.Table, error) {
-	org := dcache.DirectMapped
-	if err := r.ensure(r.keysFor(org, []bool{false}, true)); err != nil {
-		return nil, err
-	}
-	if err := r.ensureAlone(org); err != nil {
-		return nil, err
-	}
-	t := stats.NewTable("design", "speedup vs LEE+CD")
+func fig19Rows() []RowSpec {
+	var rows []RowSpec
 	for _, d := range designs {
-		ws, err := r.normalizedWS(org, d, false, true)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowf("LEE+"+d.String(), stats.GeoMean(ws))
+		rows = append(rows, RowSpec{
+			Labels: []string{"LEE+" + d.String()},
+			Patch:  raw(`{"Design":%q}`, d.String()),
+		})
 	}
-	return t, nil
+	return rows
 }
+
+// Figures is the declarative registry of every evaluation table: the
+// paper's Figs. 8–19 plus the extension studies of extensions.go, in
+// presentation order. Each entry is pure data interpreted by
+// Runner.Table, so adding a figure is adding a spec here (or loading one
+// from JSON), not writing a new driver.
+var Figures = buildFigures()
+
+func buildFigures() []TableSpec {
+	var specs []TableSpec
+	add := func(s ...TableSpec) { specs = append(specs, s...) }
+
+	add(TableSpec{
+		Name:    "fig8",
+		Title:   "Fig. 8: average speedup (normalized to CD)",
+		Headers: []string{"org"},
+		Patch:   raw(`{%s}`, pins),
+		Rows:    orgRows(),
+		Cols:    designCols([]bool{false}),
+	})
+	add(TableSpec{
+		Name:    "fig9",
+		Title:   "Fig. 9: average speedup with remapping (normalized to CD w/o remap)",
+		Headers: []string{"org"},
+		Patch:   raw(`{%s}`, pins),
+		Rows:    orgRows(),
+		Cols:    designCols([]bool{true}),
+	})
+	add(perOrg([2]string{"fig10", "fig11"}, [2]string{
+		"Fig. 10: per-workload speedup, set-associative",
+		"Fig. 11: per-workload speedup, direct-mapped",
+	}, TableSpec{
+		Headers: []string{"mix"},
+		PerMix:  true,
+		Rows:    []RowSpec{{}},
+		Cols:    designCols([]bool{false, true}),
+	})...)
+	add(perOrg([2]string{"fig12", "fig13"}, [2]string{
+		"Fig. 12: L2 miss latency improvement, set-associative",
+		"Fig. 13: L2 miss latency improvement, direct-mapped",
+	}, TableSpec{
+		Headers: []string{"design"},
+		Rows:    designRemapRows([]bool{false, true}),
+		Cols: []ColSpec{{
+			Header:   "L2 miss latency improvement (%)",
+			Metric:   "l2MissLatencyNS",
+			Agg:      "mean",
+			Baseline: normToCD,
+			Op:       "pctImprove",
+		}},
+	})...)
+	add(perOrg([2]string{"fig14", "fig15"}, [2]string{
+		"Fig. 14: accesses per turnaround, set-associative",
+		"Fig. 15: accesses per turnaround, direct-mapped",
+	}, TableSpec{
+		Headers: []string{"design"},
+		Rows:    designRemapRows([]bool{false}),
+		Cols: []ColSpec{{
+			Header: "accesses per turnaround",
+			Metric: "accessesPerTurnaround",
+			Agg:    "mean",
+		}},
+	})...)
+	add(perOrg([2]string{"fig16", "fig17"}, [2]string{
+		"Fig. 16: row buffer hit rate, set-associative",
+		"Fig. 17: row buffer hit rate, direct-mapped",
+	}, TableSpec{
+		Headers: []string{"design"},
+		Rows:    designRemapRows([]bool{false, true}),
+		Cols: []ColSpec{{
+			Header: "row buffer hit rate",
+			Metric: "readRowHitRate",
+			Agg:    "mean",
+		}},
+	})...)
+	// Fig. 18, the tag-cache study: DRAM tag accesses for various SRAM
+	// tag-cache sizes on the set-associative organization, normalized to
+	// the no-tag-cache baseline. The paper's observation is that a small
+	// tag cache *increases* DRAM tag traffic (≈2× at 192 KB) because tag
+	// blocks have little temporal locality and the row-granular prefetch
+	// multiplies fetches.
+	add(TableSpec{
+		Name:    "fig18",
+		Title:   "Fig. 18: DRAM tag accesses vs tag cache size",
+		Headers: []string{"tag cache"},
+		Patch:   raw(`{"Org":"set-assoc","Design":"CD",%s}`, pins),
+		Rows:    fig18Rows(),
+		Cols: []ColSpec{
+			{
+				Header:   "normalized DRAM tag accesses",
+				Metric:   "dramTagAccesses",
+				Agg:      "mean",
+				Baseline: raw(`{"TagCacheKB":0}`),
+				Op:       "ratio",
+			},
+			{
+				Header: "tag cache hit rate",
+				Metric: "tagCacheHitRate",
+				Agg:    "mean",
+			},
+		},
+	})
+	// Fig. 19, the Lee DRAM-aware writeback study on the direct-mapped
+	// organization: CD, ROD, and DCA with the Lee policy enabled in the
+	// L2, normalized to CD+LEE. The paper reports DCA continuing to
+	// outperform CD by ≈7 % under this policy.
+	add(TableSpec{
+		Name:    "fig19",
+		Title:   "Fig. 19: speedup under Lee DRAM-aware writeback (direct-mapped)",
+		Headers: []string{"design"},
+		Patch:   raw(`{"Org":"direct-mapped","XORRemap":false,"LeeWriteback":true,"TagCacheKB":0,"Algorithm":"BLISS","BEARProbe":false}`),
+		Rows:    fig19Rows(),
+		Cols: []ColSpec{{
+			Header:   "speedup vs LEE+CD",
+			Metric:   MetricWS,
+			Agg:      "geomean",
+			Baseline: raw(`{"Design":"CD"}`),
+		}},
+	})
+	add(extensionSpecs()...)
+	return specs
+}
+
+// Fig8 reproduces the average normalized weighted speedup of CD, ROD, and
+// DCA for both organizations (no remapping), normalized to CD.
+func (r *Runner) Fig8() (*stats.Table, error) { return r.Figure("fig8") }
+
+// Fig9 reproduces the average speedups with the XOR remapping scheme,
+// still normalized to CD without remapping.
+func (r *Runner) Fig9() (*stats.Table, error) { return r.Figure("fig9") }
+
+// Fig10 is the per-workload speedup table for the set-associative cache.
+func (r *Runner) Fig10() (*stats.Table, error) { return r.Figure("fig10") }
+
+// Fig11 is the per-workload speedup table for the direct-mapped cache.
+func (r *Runner) Fig11() (*stats.Table, error) { return r.Figure("fig11") }
+
+// Fig12 is the set-associative L2 miss latency improvement.
+func (r *Runner) Fig12() (*stats.Table, error) { return r.Figure("fig12") }
+
+// Fig13 is the direct-mapped L2 miss latency improvement.
+func (r *Runner) Fig13() (*stats.Table, error) { return r.Figure("fig13") }
+
+// Fig14 is accesses per turnaround, set-associative.
+func (r *Runner) Fig14() (*stats.Table, error) { return r.Figure("fig14") }
+
+// Fig15 is accesses per turnaround, direct-mapped.
+func (r *Runner) Fig15() (*stats.Table, error) { return r.Figure("fig15") }
+
+// Fig16 is the read row-buffer hit rate, set-associative.
+func (r *Runner) Fig16() (*stats.Table, error) { return r.Figure("fig16") }
+
+// Fig17 is the read row-buffer hit rate, direct-mapped.
+func (r *Runner) Fig17() (*stats.Table, error) { return r.Figure("fig17") }
+
+// Fig18 is the tag-cache study (see the fig18 spec).
+func (r *Runner) Fig18() (*stats.Table, error) { return r.Figure("fig18") }
+
+// Fig19 is the Lee DRAM-aware writeback study (see the fig19 spec).
+func (r *Runner) Fig19() (*stats.Table, error) { return r.Figure("fig19") }
 
 // TableI renders the workload groupings.
 func TableI(mixes []workload.Mix) *stats.Table {

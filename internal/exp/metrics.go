@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"dcasim/internal/sim"
+)
+
+// A metricFunc extracts one scalar from a run. ok is false when the run
+// carries no sample for the metric (e.g. tag-cache hit rate without a
+// tag cache); such runs are skipped by the aggregation, exactly as the
+// hand-written drivers skipped them.
+type metricFunc func(res sim.Result) (v float64, ok bool)
+
+// MetricWS is the weighted-speedup metric. It is resolved by the table
+// engine rather than this registry because it needs the per-benchmark
+// alone runs of the mix, not just the run's own result.
+const MetricWS = "ws"
+
+// metrics maps spec metric names to extractors. Every quantity a figure
+// plots — and the run-level quantities user sweeps care about — is
+// reachable by name, so a new table or sweep needs no new Go code.
+var metrics = map[string]metricFunc{
+	"totalNS":  func(r sim.Result) (float64, bool) { return r.TotalNS(), true },
+	"ipcTotal": func(r sim.Result) (float64, bool) { return sumF(r.IPC), true },
+	"ipc0": func(r sim.Result) (float64, bool) {
+		if len(r.IPC) == 0 {
+			return 0, false
+		}
+		return r.IPC[0], true
+	},
+	"readHitRate":           func(r sim.Result) (float64, bool) { return r.DCache.ReadHitRate(), true },
+	"avgReadLatencyNS":      func(r sim.Result) (float64, bool) { return r.AvgReadLatencyNS(), true },
+	"l2MissLatencyNS":       func(r sim.Result) (float64, bool) { return r.L2MissLatencyNS, true },
+	"l2MissRate":            func(r sim.Result) (float64, bool) { return r.L2MissRate, true },
+	"readRowHitRate":        func(r sim.Result) (float64, bool) { return r.ReadRowHitRate(), true },
+	"accessesPerTurnaround": func(r sim.Result) (float64, bool) { return r.AccessesPerTurnaround(), true },
+	"turnarounds":           func(r sim.Result) (float64, bool) { return float64(r.DRAM.Turnarounds), true },
+	"dramAccesses":          func(r sim.Result) (float64, bool) { return float64(r.DRAM.Accesses), true },
+	"dramTagAccesses":       func(r sim.Result) (float64, bool) { return float64(r.DRAMTagAccesses), true },
+	"prIssued":              func(r sim.Result) (float64, bool) { return float64(r.Ctrl.PRIssued), true },
+	"lrIssued":              func(r sim.Result) (float64, bool) { return float64(r.Ctrl.LRIssued), true },
+	"ofsIssues":             func(r sim.Result) (float64, bool) { return float64(r.Ctrl.OFSIssues), true },
+	"writesIssued":          func(r sim.Result) (float64, bool) { return float64(r.Ctrl.WritesIssued), true },
+	"forcedFlushes":         func(r sim.Result) (float64, bool) { return float64(r.Ctrl.ForcedFlushes), true },
+	"mainMemReads":          func(r sim.Result) (float64, bool) { return float64(r.MainMemReads), true },
+	"mainMemWrites":         func(r sim.Result) (float64, bool) { return float64(r.MainMemWrites), true },
+	"tagCacheHitRate": func(r sim.Result) (float64, bool) {
+		if r.TagCacheLookups == 0 {
+			return 0, false
+		}
+		return float64(r.TagCacheHits) / float64(r.TagCacheLookups), true
+	},
+	"bearElidedFrac": func(r sim.Result) (float64, bool) {
+		if r.DCache.WritebackReqs == 0 {
+			return 0, false
+		}
+		return float64(r.DCache.BEARElided) / float64(r.DCache.WritebackReqs), true
+	},
+}
+
+func sumF(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// MetricNames lists every registry metric, sorted, for error messages
+// and docs.
+func MetricNames() []string {
+	names := make([]string, 0, len(metrics))
+	for n := range metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookupMetric resolves a registry metric name. MetricWS is not in the
+// registry — table specs resolve it separately (it needs alone runs)
+// and sweeps reject it — so it is deliberately absent from the
+// suggestion list.
+func lookupMetric(name string) (metricFunc, error) {
+	f, ok := metrics[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown metric %q (have %v)", name, MetricNames())
+	}
+	return f, nil
+}

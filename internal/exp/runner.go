@@ -1,13 +1,15 @@
-// Package exp contains one driver per table and figure of the paper's
-// evaluation (§V–§VI). Each driver returns a stats.Table whose rows carry
-// the same quantities the paper plots, so `cmd/experiments` (or the
-// bench harness) regenerates the full evaluation.
+// Package exp is the evaluation harness: a memoizing, cache-backed
+// simulation runner plus declarative table specs that regenerate every
+// table and figure of the paper (§V–§VI).
 //
-// Simulation results are memoized by configuration key and computed by a
-// bounded worker pool: the figures share most of their underlying runs
-// (e.g. Figs. 8, 10, 12, 14, and 16 all consume the same set-associative
-// sweeps), so the whole evaluation costs one pass over the distinct
-// configurations, parallelised across CPUs.
+// A simulation run is a pure function of its config, so runs are
+// content-addressed by config.Config.Hash(): the in-memory memo and the
+// optional persistent rescache.Cache are both keyed by that hash. The
+// figures share most of their underlying runs (e.g. Figs. 8, 10, 12, 14,
+// and 16 all consume the same set-associative sweeps), so the whole
+// evaluation costs one pass over the distinct configurations,
+// parallelised across CPUs — and with a warm persistent cache, zero
+// simulations at all.
 package exp
 
 import (
@@ -18,8 +20,8 @@ import (
 	"dcasim/internal/config"
 	"dcasim/internal/core"
 	"dcasim/internal/dcache"
+	"dcasim/internal/rescache"
 	"dcasim/internal/sim"
-	"dcasim/internal/simtime"
 	"dcasim/internal/stats"
 	"dcasim/internal/workload"
 )
@@ -29,41 +31,23 @@ type Runner struct {
 	base    config.Config
 	mixes   []workload.Mix
 	workers int
+	cache   *rescache.Cache
 
 	mu       sync.Mutex
-	results  map[runKey]sim.Result
-	errs     map[runKey]error
-	alone    map[aloneKey]float64
-	inflight map[aloneKey]*aloneCall
-
-	aloneRuns int64 // alone simulations actually executed (tests assert no duplicates)
+	results  map[string]sim.Result // by config.Config.Hash()
+	errs     map[string]error
+	inflight map[string]*call
+	simRuns  int64 // simulations actually executed (not memo or cache hits)
+	cacheErr error // first failed cache write, surfaced via CacheErr
 }
 
-// aloneCall is the in-flight record of one alone-run computation
-// (singleflight): concurrent requesters for the same key block on done
-// and share the one result instead of duplicating a full simulation.
-type aloneCall struct {
+// call is the in-flight record of one run (singleflight): concurrent
+// requesters for the same config hash block on done and share the one
+// result instead of duplicating a full simulation.
+type call struct {
 	done chan struct{}
-	ipc  float64
+	res  sim.Result
 	err  error
-}
-
-type runKey struct {
-	mixID  int
-	org    dcache.Org
-	design core.Design
-	remap  bool
-	lee    bool
-	tagKB  int
-	// Extension-study dimensions (zero values = paper baseline).
-	twtrPS int64          // tWTR override in picoseconds; 0 = Table II
-	alg    core.Algorithm // base scheduling algorithm
-	bear   bool           // BEAR writeback-probe elision
-}
-
-type aloneKey struct {
-	bench string
-	org   dcache.Org
 }
 
 // NewRunner builds a runner over a base config and workload mixes.
@@ -76,11 +60,33 @@ func NewRunner(base config.Config, mixes []workload.Mix, workers int) *Runner {
 		base:     base,
 		mixes:    mixes,
 		workers:  workers,
-		results:  make(map[runKey]sim.Result),
-		errs:     make(map[runKey]error),
-		alone:    make(map[aloneKey]float64),
-		inflight: make(map[aloneKey]*aloneCall),
+		results:  make(map[string]sim.Result),
+		errs:     make(map[string]error),
+		inflight: make(map[string]*call),
 	}
+}
+
+// SetCache attaches a persistent result cache, consulted before running
+// any simulation and updated after each one.
+func (r *Runner) SetCache(c *rescache.Cache) { r.cache = c }
+
+// SimRuns returns how many simulations this runner actually executed —
+// memo and persistent-cache hits excluded. A second evaluation pass
+// against a warm cache must report zero.
+func (r *Runner) SimRuns() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simRuns
+}
+
+// CacheErr returns the first error encountered writing the persistent
+// cache, if any. Cache write failures never fail a run — the result was
+// already computed — but callers may want to warn that the next pass
+// will not be warm.
+func (r *Runner) CacheErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cacheErr
 }
 
 // Mixes returns the workload mixes under evaluation.
@@ -89,145 +95,168 @@ func (r *Runner) Mixes() []workload.Mix { return r.mixes }
 // BaseConfig returns a copy of the base configuration.
 func (r *Runner) BaseConfig() config.Config { return r.base }
 
-// mixFor resolves a mix ID against the runner's mixes.
-func (r *Runner) mixFor(mixID int) (workload.Mix, error) {
-	for _, m := range r.mixes {
-		if m.ID == mixID {
-			return m, nil
-		}
-	}
-	return workload.Mix{}, fmt.Errorf("exp: unknown mix id %d", mixID)
-}
-
-func (r *Runner) configFor(k runKey) (config.Config, error) {
-	cfg := r.base
-	cfg.Org = k.org
-	cfg.Design = k.design
-	cfg.XORRemap = k.remap
-	cfg.LeeWriteback = k.lee
-	cfg.TagCacheKB = k.tagKB
-	cfg.Algorithm = k.alg
-	cfg.BEARProbe = k.bear
-	if k.twtrPS > 0 {
-		cfg.Timing.TWTR = simtime.Time(k.twtrPS)
-	}
-	cfg.Seed = r.base.Seed + uint64(k.mixID)*1_000_003
-	m, err := r.mixFor(k.mixID)
-	if err != nil {
-		return cfg, err
-	}
+// mixConfig specializes a variant config to one mix: the mix's
+// benchmarks and a per-mix seed derived from the base seed.
+func mixConfig(variant config.Config, base config.Config, m workload.Mix) config.Config {
+	cfg := variant
 	// Copy: the config escapes into a concurrently running simulation,
 	// and sharing the mix's backing array would alias every run started
 	// from the same mix.
 	cfg.Benchmarks = append([]string(nil), m.Benchmarks[:]...)
-	return cfg, nil
+	cfg.Seed = base.Seed + uint64(m.ID)*1_000_003
+	return cfg
 }
 
-// ensure computes every missing key, bounded-parallel across runs.
-func (r *Runner) ensure(keys []runKey) error {
-	var missing []runKey
+// aloneConfig is the single-benchmark run whose IPC is the denominator
+// of the weighted-speedup metric: the base config under the given
+// organization, on the CD normalization baseline.
+func (r *Runner) aloneConfig(bench string, org dcache.Org) config.Config {
+	cfg := r.base
+	cfg.Org = org
+	cfg.Benchmarks = []string{bench}
+	cfg.Design = core.CD
+	cfg.Ctrl = nil
+	return cfg
+}
+
+// Cacheable reports whether a config's result may live in the
+// persistent cache: trace replay depends on the trace file's contents
+// (which the config hash does not cover, only the path) and recording
+// is a side effect a cache hit would silently skip, so neither is.
+// Every cache front-end (the runner here, cmd/dcasim's single-run
+// path) must route through this one predicate.
+func Cacheable(cfg config.Config) bool {
+	return cfg.ReplayPath() == "" && cfg.RecordPath == ""
+}
+
+// Run returns the simulation result for cfg, computing it at most once
+// per runner: the in-memory memo, then the persistent cache, then an
+// actual simulation. Concurrent callers for the same config hash join
+// the in-flight computation (singleflight).
+func (r *Runner) Run(cfg config.Config) (sim.Result, error) {
+	h := cfg.Hash()
 	r.mu.Lock()
-	seen := make(map[runKey]bool)
-	for _, k := range keys {
-		if _, ok := r.results[k]; ok || r.errs[k] != nil || seen[k] {
-			continue
-		}
-		seen[k] = true
-		missing = append(missing, k)
+	if res, ok := r.results[h]; ok {
+		r.mu.Unlock()
+		return res, nil
 	}
+	if err := r.errs[h]; err != nil {
+		r.mu.Unlock()
+		return sim.Result{}, err
+	}
+	if c, ok := r.inflight[h]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	r.inflight[h] = c
 	r.mu.Unlock()
-	if len(missing) == 0 {
-		return r.firstErr(keys)
+
+	fromCache := false
+	if r.cache != nil && Cacheable(cfg) {
+		// Validate before consulting the cache: a bad config must fail
+		// loudly even if a stale entry happens to exist under its hash.
+		if c.err = cfg.Validate(); c.err == nil {
+			c.res, fromCache = r.cache.Get(h)
+		}
+	}
+	if !fromCache && c.err == nil {
+		c.res, c.err = sim.Run(cfg)
 	}
 
+	r.mu.Lock()
+	if c.err != nil {
+		r.errs[h] = c.err
+	} else {
+		r.results[h] = c.res
+	}
+	if !fromCache && c.err == nil {
+		r.simRuns++
+	}
+	r.mu.Unlock()
+	if !fromCache && c.err == nil && r.cache != nil && Cacheable(cfg) {
+		if err := r.cache.Put(h, c.res); err != nil {
+			r.mu.Lock()
+			if r.cacheErr == nil {
+				r.cacheErr = err
+			}
+			r.mu.Unlock()
+		}
+	}
+	r.mu.Lock()
+	delete(r.inflight, h)
+	r.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// Ensure computes every missing config, bounded-parallel across runs,
+// and returns the first error in the order given. Duplicates are
+// launched once: a joiner blocked on the singleflight would otherwise
+// hold a worker slot for the whole in-flight simulation.
+func (r *Runner) Ensure(cfgs []config.Config) error {
+	hashes := make([]string, len(cfgs))
+	var distinct []config.Config
+	seen := make(map[string]bool, len(cfgs))
+	for i, cfg := range cfgs {
+		hashes[i] = cfg.Hash()
+		if !seen[hashes[i]] {
+			seen[hashes[i]] = true
+			distinct = append(distinct, cfg)
+		}
+	}
 	sem := make(chan struct{}, r.workers)
 	var wg sync.WaitGroup
-	for _, k := range missing {
+	for _, cfg := range distinct {
 		wg.Add(1)
-		go func(k runKey) {
+		go func(cfg config.Config) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			cfg, err := r.configFor(k)
-			var res sim.Result
-			if err == nil {
-				res, err = sim.Run(cfg)
-			}
-			r.mu.Lock()
-			if err != nil {
-				r.errs[k] = err
-			} else {
-				r.results[k] = res
-			}
-			r.mu.Unlock()
-		}(k)
+			r.Run(cfg)
+		}(cfg)
 	}
 	wg.Wait()
-	return r.firstErr(keys)
-}
-
-func (r *Runner) firstErr(keys []runKey) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, k := range keys {
-		if err := r.errs[k]; err != nil {
-			return fmt.Errorf("exp: run %+v: %w", k, err)
+	for i, h := range hashes {
+		if err := r.errs[h]; err != nil {
+			cfg := cfgs[i]
+			return fmt.Errorf("exp: run %.12s… (%v/%v %v seed %d): %w",
+				h, cfg.Design, cfg.Org, cfg.Benchmarks, cfg.Seed, err)
 		}
 	}
 	return nil
 }
 
-// result returns a memoized run (ensure must have succeeded for the key).
-func (r *Runner) result(k runKey) sim.Result {
+// result returns a memoized run (Ensure must have succeeded for cfg).
+func (r *Runner) result(cfg config.Config) sim.Result {
+	h := cfg.Hash()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	res, ok := r.results[k]
+	res, ok := r.results[h]
 	if !ok {
-		panic(fmt.Sprintf("exp: result %+v not computed", k))
+		panic(fmt.Sprintf("exp: result %.12s… not computed", h))
 	}
 	return res
 }
 
-// aloneIPC returns the memoized alone IPC for one (benchmark, org) key,
-// computing it at most once: concurrent callers for the same key — e.g.
-// two figure drivers sharing benchmarks — join the in-flight computation
-// instead of racing to run the same full simulation twice.
-func (r *Runner) aloneIPC(k aloneKey) (float64, error) {
-	r.mu.Lock()
-	if ipc, ok := r.alone[k]; ok {
-		r.mu.Unlock()
-		return ipc, nil
+// aloneIPC returns the alone IPC for one (benchmark, org) pair through
+// the memoized, cache-backed run path.
+func (r *Runner) aloneIPC(bench string, org dcache.Org) (float64, error) {
+	res, err := r.Run(r.aloneConfig(bench, org))
+	if err != nil {
+		return 0, err
 	}
-	if call, ok := r.inflight[k]; ok {
-		r.mu.Unlock()
-		<-call.done
-		return call.ipc, call.err
-	}
-	call := &aloneCall{done: make(chan struct{})}
-	r.inflight[k] = call
-	r.aloneRuns++
-	r.mu.Unlock()
-
-	cfg := r.base
-	cfg.Org = k.org
-	call.ipc, call.err = sim.AloneIPC(cfg, k.bench)
-
-	r.mu.Lock()
-	if call.err == nil {
-		r.alone[k] = call.ipc
-	}
-	delete(r.inflight, k)
-	r.mu.Unlock()
-	close(call.done)
-	return call.ipc, call.err
+	return res.IPC[0], nil
 }
 
-// aloneIPCs returns per-core alone IPCs for a mix under an organization,
-// computing and memoizing per-benchmark alone runs on demand.
+// aloneIPCs returns per-core alone IPCs for a mix under an organization.
 func (r *Runner) aloneIPCs(mix workload.Mix, org dcache.Org) ([]float64, error) {
 	out := make([]float64, len(mix.Benchmarks))
 	for i, b := range mix.Benchmarks {
-		ipc, err := r.aloneIPC(aloneKey{bench: b, org: org})
+		ipc, err := r.aloneIPC(b, org)
 		if err != nil {
 			return nil, err
 		}
@@ -236,49 +265,28 @@ func (r *Runner) aloneIPCs(mix workload.Mix, org dcache.Org) ([]float64, error) 
 	return out, nil
 }
 
-// ensureAlone precomputes alone IPCs for every benchmark of the mixes in
-// parallel, through the same singleflight path aloneIPCs uses.
-func (r *Runner) ensureAlone(org dcache.Org) error {
-	benches := map[string]bool{}
+// aloneConfigs enumerates the alone runs behind every benchmark of the
+// runner's mixes under an organization.
+func (r *Runner) aloneConfigs(org dcache.Org) []config.Config {
+	seen := map[string]bool{}
+	var cfgs []config.Config
 	for _, m := range r.mixes {
 		for _, b := range m.Benchmarks {
-			benches[b] = true
+			if !seen[b] {
+				seen[b] = true
+				cfgs = append(cfgs, r.aloneConfig(b, org))
+			}
 		}
 	}
-	sem := make(chan struct{}, r.workers)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for b := range benches {
-		wg.Add(1)
-		go func(b string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if _, err := r.aloneIPC(aloneKey{bench: b, org: org}); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(b)
-	}
-	wg.Wait()
-	return firstErr
+	return cfgs
 }
 
-// weightedSpeedup computes the weighted speedup of a memoized run. An
-// unknown mix ID is an error: proceeding with a zero-value Mix would
-// silently normalize against empty benchmark names.
-func (r *Runner) weightedSpeedup(k runKey) (float64, error) {
-	mix, err := r.mixFor(k.mixID)
+// weightedSpeedup computes the weighted speedup of a memoized run over
+// the alone IPCs of its mix.
+func (r *Runner) weightedSpeedup(cfg config.Config, mix workload.Mix) (float64, error) {
+	alone, err := r.aloneIPCs(mix, cfg.Org)
 	if err != nil {
 		return 0, err
 	}
-	alone, err := r.aloneIPCs(mix, k.org)
-	if err != nil {
-		return 0, err
-	}
-	return stats.WeightedSpeedup(r.result(k).IPC, alone), nil
+	return stats.WeightedSpeedup(r.result(cfg).IPC, alone), nil
 }

@@ -4,32 +4,103 @@ import (
 	"strings"
 	"testing"
 
-	"dcasim/internal/dcache"
+	"dcasim/internal/config"
 )
 
-// TestWeightedSpeedupUnknownMix: an unknown mix ID must surface as an
-// error, not proceed with a zero-value Mix (which would run alone-IPC
-// simulations for empty benchmark names or, before the fix, silently
-// produce a bogus speedup).
-func TestWeightedSpeedupUnknownMix(t *testing.T) {
+// TestRunErrorMemoized: an invalid config must fail once and then keep
+// failing from the memo without re-running validation-failing sims.
+func TestRunErrorMemoized(t *testing.T) {
 	r := testRunner(t, 1)
-	before := r.aloneRuns
-	_, err := r.weightedSpeedup(runKey{mixID: 999, org: dcache.SetAssoc})
-	if err == nil {
-		t.Fatal("weightedSpeedup accepted an unknown mix id")
+	bad := config.Test()
+	bad.Benchmarks = []string{"no-such-benchmark"}
+	if _, err := r.Run(bad); err == nil {
+		t.Fatal("Run accepted an unknown benchmark")
 	}
-	if !strings.Contains(err.Error(), "unknown mix id 999") {
-		t.Fatalf("error %q does not name the unknown mix", err)
+	if _, err := r.Run(bad); err == nil {
+		t.Fatal("memoized error was dropped on the second call")
 	}
-	if r.aloneRuns != before {
-		t.Fatalf("unknown mix still triggered %d alone runs", r.aloneRuns-before)
+	if n := r.SimRuns(); n != 0 {
+		t.Fatalf("failed config counted as %d executed simulations", n)
 	}
 }
 
-// TestConfigForUnknownMix: the run-config path shares the same lookup.
-func TestConfigForUnknownMix(t *testing.T) {
+// TestTableUnknownMetric: a spec naming a metric outside the registry
+// must error up front, before any simulation runs.
+func TestTableUnknownMetric(t *testing.T) {
 	r := testRunner(t, 1)
-	if _, err := r.configFor(runKey{mixID: -7}); err == nil {
-		t.Fatal("configFor accepted an unknown mix id")
+	spec := TableSpec{
+		Name:    "bogus",
+		Headers: []string{"x"},
+		Rows:    []RowSpec{{Labels: []string{"row"}}},
+		Cols:    []ColSpec{{Header: "c", Metric: "no-such-metric"}},
+	}
+	_, err := r.Table(spec)
+	if err == nil || !strings.Contains(err.Error(), "unknown metric") {
+		t.Fatalf("want unknown-metric error, got %v", err)
+	}
+	if r.SimRuns() != 0 {
+		t.Fatal("unknown metric still launched simulations")
+	}
+}
+
+// TestTableBadPatch: a typoed config field in a patch must be rejected,
+// not silently ignored (it would select the wrong cache key).
+func TestTableBadPatch(t *testing.T) {
+	r := testRunner(t, 1)
+	spec := TableSpec{
+		Name:    "typo",
+		Headers: []string{"x"},
+		Rows:    []RowSpec{{Labels: []string{"row"}, Patch: raw(`{"Desing":"CD"}`)}},
+		Cols:    []ColSpec{{Header: "c", Metric: "totalNS"}},
+	}
+	if _, err := r.Table(spec); err == nil {
+		t.Fatal("Table accepted a patch with an unknown field")
+	}
+}
+
+// TestDivColumnUnknownReference: derived columns must name columns that
+// already exist in the row.
+func TestDivColumnUnknownReference(t *testing.T) {
+	r := testRunner(t, 1)
+	spec := TableSpec{
+		Name:    "div",
+		Headers: []string{"x"},
+		Rows:    []RowSpec{{Labels: []string{"row"}}},
+		Cols: []ColSpec{
+			{Header: "a", Metric: "totalNS"},
+			{Header: "bad", Div: &[2]string{"a", "missing"}},
+		},
+	}
+	if _, err := r.Table(spec); err == nil {
+		t.Fatal("Table accepted a div column referencing a missing column")
+	}
+	if r.SimRuns() != 0 {
+		t.Fatal("bad div column still launched simulations")
+	}
+}
+
+// TestTableBadAggOpFormat: typos in the fold/normalize/format fields
+// must also fail before any simulation runs.
+func TestTableBadAggOpFormat(t *testing.T) {
+	r := testRunner(t, 1)
+	base := TableSpec{
+		Name:    "bad",
+		Headers: []string{"x"},
+		Rows:    []RowSpec{{Labels: []string{"row"}}},
+	}
+	cases := map[string]ColSpec{
+		"agg":    {Header: "c", Metric: "totalNS", Agg: "geomena"},
+		"op":     {Header: "c", Metric: "totalNS", Baseline: raw(`{}`), Op: "pctimprove"},
+		"format": {Header: "c", Metric: "totalNS", Format: "pct1"},
+	}
+	for name, col := range cases {
+		spec := base
+		spec.Cols = []ColSpec{col}
+		if _, err := r.Table(spec); err == nil {
+			t.Errorf("%s: typo accepted", name)
+		}
+	}
+	if r.SimRuns() != 0 {
+		t.Fatalf("typoed specs launched %d simulations", r.SimRuns())
 	}
 }

@@ -1,0 +1,346 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dcasim/internal/config"
+	"dcasim/internal/stats"
+	"dcasim/internal/workload"
+)
+
+// TableSpec declares one evaluation table as data: a grid of config
+// variants (row patch × column patch on top of the base config), a
+// metric per column, and how per-mix samples aggregate into a cell.
+// Every figure of the paper is an instance (see figures.go), so adding a
+// figure is writing a spec, not plumbing a new driver. Patches are raw
+// JSON objects deep-merged onto the base config (config.Config.Patch),
+// which also makes specs fully serializable.
+type TableSpec struct {
+	Name    string          `json:"name"`
+	Title   string          `json:"title"`
+	Headers []string        `json:"headers"`          // leading label column headers
+	Patch   json.RawMessage `json:"patch,omitempty"`  // applied to every cell of the table
+	PerMix  bool            `json:"perMix,omitempty"` // one row per mix plus a gmean summary (Figs. 10–11)
+	Rows    []RowSpec       `json:"rows"`
+	Cols    []ColSpec       `json:"cols"`
+}
+
+// RowSpec is one table row: its label cells and the config patch shared
+// by every cell of the row. Under PerMix the single row spec provides
+// the patch while the rows themselves come from the runner's mixes.
+type RowSpec struct {
+	Labels []string        `json:"labels,omitempty"`
+	Patch  json.RawMessage `json:"patch,omitempty"`
+}
+
+// ColSpec is one data column.
+type ColSpec struct {
+	Header string          `json:"header"`
+	Patch  json.RawMessage `json:"patch,omitempty"`
+	Metric string          `json:"metric"` // registry name, or MetricWS
+
+	// Agg folds the per-mix samples into the cell: "geomean" or "mean".
+	Agg string `json:"agg,omitempty"`
+
+	// Baseline, when set, is a further patch selecting the variant each
+	// per-mix sample is normalized against before aggregation; Op picks
+	// the normalization: "ratio" (default) or "pctImprove"
+	// (100*(baseline-v)/baseline, the paper's latency-improvement form).
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+	Op       string          `json:"op,omitempty"`
+
+	// Div derives the cell from two earlier columns of the same row
+	// (numerator/denominator by header) instead of from runs.
+	Div *[2]string `json:"div,omitempty"`
+
+	// Format renders the aggregated value: "" uses the table default
+	// (%.3f), "pct0" renders 100*v as a whole-number percentage.
+	Format string `json:"format,omitempty"`
+}
+
+// validate rejects a malformed column before any simulation runs: a
+// typoed aggregation or a dangling Div reference must not cost a full
+// sweep before failing at render time. earlier holds the headers of
+// the columns to this one's left (Div may only reference those).
+func (c ColSpec) validate(earlier map[string]bool) error {
+	if c.Div != nil {
+		for _, ref := range *c.Div {
+			if !earlier[ref] {
+				return fmt.Errorf("exp: column %q: div references unknown column %q", c.Header, ref)
+			}
+		}
+		switch c.Format {
+		case "", "pct0":
+			return nil
+		}
+		return fmt.Errorf("exp: column %q: unknown format %q", c.Header, c.Format)
+	}
+	if c.Metric != MetricWS {
+		if _, err := lookupMetric(c.Metric); err != nil {
+			return err
+		}
+	}
+	switch c.Agg {
+	case "geomean", "mean", "":
+	default:
+		return fmt.Errorf("exp: column %q: unknown aggregation %q", c.Header, c.Agg)
+	}
+	switch c.Op {
+	case "ratio", "pctImprove", "":
+	default:
+		return fmt.Errorf("exp: column %q: unknown op %q", c.Header, c.Op)
+	}
+	switch c.Format {
+	case "", "pct0":
+	default:
+		return fmt.Errorf("exp: column %q: unknown format %q", c.Header, c.Format)
+	}
+	return nil
+}
+
+// aggregate folds samples per the column spec.
+func (c ColSpec) aggregate(vals []float64) (float64, error) {
+	switch c.Agg {
+	case "geomean":
+		return stats.GeoMean(vals), nil
+	case "mean", "":
+		return stats.Mean(vals), nil
+	}
+	return 0, fmt.Errorf("exp: column %q: unknown aggregation %q", c.Header, c.Agg)
+}
+
+// normalize applies the column's baseline op to one per-mix sample.
+func (c ColSpec) normalize(v, base float64) (float64, error) {
+	switch c.Op {
+	case "ratio", "":
+		return v / base, nil
+	case "pctImprove":
+		return 100 * (base - v) / base, nil
+	}
+	return 0, fmt.Errorf("exp: column %q: unknown op %q", c.Header, c.Op)
+}
+
+// cell renders the aggregated value per the column's format.
+func (c ColSpec) cell(v float64) (interface{}, error) {
+	switch c.Format {
+	case "":
+		return v, nil
+	case "pct0":
+		return fmt.Sprintf("%.0f%%", 100*v), nil
+	}
+	return nil, fmt.Errorf("exp: column %q: unknown format %q", c.Header, c.Format)
+}
+
+// variant resolves the cell config of (row, col) and, when the column is
+// normalized, its baseline config.
+func (s TableSpec) variant(base config.Config, row RowSpec, col ColSpec) (cfg, bl config.Config, err error) {
+	cfg, err = base.Patch(s.Patch, row.Patch, col.Patch)
+	if err != nil {
+		return cfg, bl, fmt.Errorf("exp: %s row %v col %q: %w", s.Name, row.Labels, col.Header, err)
+	}
+	if col.Baseline != nil {
+		bl, err = base.Patch(s.Patch, row.Patch, col.Patch, col.Baseline)
+		if err != nil {
+			return cfg, bl, fmt.Errorf("exp: %s row %v col %q baseline: %w", s.Name, row.Labels, col.Header, err)
+		}
+	}
+	return cfg, bl, nil
+}
+
+// Table evaluates a spec: it enumerates every run the grid needs
+// (cells, baselines, and the alone runs behind weighted speedups),
+// computes the missing ones in parallel through the memo and persistent
+// cache, and renders the table.
+func (r *Runner) Table(spec TableSpec) (*stats.Table, error) {
+	if spec.PerMix && len(spec.Rows) != 1 {
+		return nil, fmt.Errorf("exp: %s: perMix wants exactly one row spec, got %d", spec.Name, len(spec.Rows))
+	}
+	earlier := map[string]bool{}
+	for _, col := range spec.Cols {
+		if spec.PerMix && col.Div != nil {
+			return nil, fmt.Errorf("exp: %s: div columns are not supported with perMix", spec.Name)
+		}
+		if err := col.validate(earlier); err != nil {
+			return nil, err
+		}
+		earlier[col.Header] = true
+	}
+
+	// Resolve the variant grid once.
+	type cellVariant struct {
+		cfg, bl config.Config
+	}
+	grid := make([][]cellVariant, len(spec.Rows))
+	var need []config.Config
+	aloneOrgs := map[string]config.Config{} // org name -> a config under that org
+	for i, row := range spec.Rows {
+		grid[i] = make([]cellVariant, len(spec.Cols))
+		for j, col := range spec.Cols {
+			if col.Div != nil {
+				continue
+			}
+			cfg, bl, err := spec.variant(r.base, row, col)
+			if err != nil {
+				return nil, err
+			}
+			grid[i][j] = cellVariant{cfg: cfg, bl: bl}
+			for _, m := range r.mixes {
+				need = append(need, mixConfig(cfg, r.base, m))
+				if col.Baseline != nil {
+					need = append(need, mixConfig(bl, r.base, m))
+				}
+			}
+			if col.Metric == MetricWS {
+				aloneOrgs[cfg.Org.String()] = cfg
+				if col.Baseline != nil {
+					aloneOrgs[bl.Org.String()] = bl
+				}
+			}
+		}
+	}
+	for _, cfg := range aloneOrgs {
+		need = append(need, r.aloneConfigs(cfg.Org)...)
+	}
+	if err := r.Ensure(need); err != nil {
+		return nil, err
+	}
+
+	// sample extracts the per-mix metric value of a variant.
+	sample := func(col ColSpec, cfg config.Config, m workload.Mix) (float64, bool, error) {
+		run := mixConfig(cfg, r.base, m)
+		if col.Metric == MetricWS {
+			ws, err := r.weightedSpeedup(run, m)
+			return ws, true, err
+		}
+		f, err := lookupMetric(col.Metric)
+		if err != nil {
+			return 0, false, err
+		}
+		v, ok := f(r.result(run))
+		return v, ok, nil
+	}
+	// samples collects the normalized per-mix series of one grid cell.
+	samples := func(col ColSpec, cv cellVariant) ([]float64, error) {
+		var vals []float64
+		for _, m := range r.mixes {
+			v, ok, err := sample(col, cv.cfg, m)
+			if err != nil {
+				return nil, err
+			}
+			if col.Baseline != nil {
+				base, bok, err := sample(col, cv.bl, m)
+				if err != nil {
+					return nil, err
+				}
+				// The hand-written drivers skipped a mix when its
+				// normalization denominator carried no samples (Fig. 18's
+				// zero-tag-access guard); keep that exact behaviour.
+				if !bok || base <= 0 {
+					continue
+				}
+				if v, err = col.normalize(v, base); err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				vals = append(vals, v)
+			}
+		}
+		return vals, nil
+	}
+
+	tbl := stats.NewTable(append(append([]string{}, spec.Headers...),
+		colHeaders(spec.Cols)...)...)
+
+	if spec.PerMix {
+		// One row per mix; cells are the raw per-mix samples, then a
+		// geomean summary row per column.
+		series := make([][]float64, len(spec.Cols))
+		for j, col := range spec.Cols {
+			vals, err := samples(col, grid[0][j])
+			if err != nil {
+				return nil, err
+			}
+			if len(vals) != len(r.mixes) {
+				return nil, fmt.Errorf("exp: %s col %q: %d samples for %d mixes", spec.Name, col.Header, len(vals), len(r.mixes))
+			}
+			series[j] = vals
+		}
+		for i, m := range r.mixes {
+			row := []interface{}{fmt.Sprintf("%d(%s)", m.ID, m.Benchmarks[0])}
+			for j := range spec.Cols {
+				row = append(row, series[j][i])
+			}
+			tbl.AddRowf(row...)
+		}
+		sum := []interface{}{"gmean"}
+		for j := range spec.Cols {
+			sum = append(sum, stats.GeoMean(series[j]))
+		}
+		tbl.AddRowf(sum...)
+		return tbl, nil
+	}
+
+	for i, rowSpec := range spec.Rows {
+		row := make([]interface{}, 0, len(spec.Headers)+len(spec.Cols))
+		for _, l := range rowSpec.Labels {
+			row = append(row, l)
+		}
+		agg := map[string]float64{}
+		for j, col := range spec.Cols {
+			var v float64
+			if col.Div != nil {
+				num, nok := agg[col.Div[0]]
+				den, dok := agg[col.Div[1]]
+				if !nok || !dok {
+					return nil, fmt.Errorf("exp: %s col %q: div references unknown columns %v", spec.Name, col.Header, *col.Div)
+				}
+				v = num / den
+			} else {
+				vals, err := samples(col, grid[i][j])
+				if err != nil {
+					return nil, err
+				}
+				if v, err = col.aggregate(vals); err != nil {
+					return nil, err
+				}
+			}
+			agg[col.Header] = v
+			cell, err := col.cell(v)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cell)
+		}
+		tbl.AddRowf(row...)
+	}
+	return tbl, nil
+}
+
+func colHeaders(cols []ColSpec) []string {
+	h := make([]string, len(cols))
+	for i, c := range cols {
+		h[i] = c.Header
+	}
+	return h
+}
+
+// FigureNames lists the registered table specs in presentation order.
+func FigureNames() []string {
+	names := make([]string, len(Figures))
+	for i, s := range Figures {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Figure evaluates a registered spec by name.
+func (r *Runner) Figure(name string) (*stats.Table, error) {
+	for _, s := range Figures {
+		if s.Name == name {
+			return r.Table(s)
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown figure %q (have %v)", name, FigureNames())
+}

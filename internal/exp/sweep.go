@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dcasim/internal/config"
+	"dcasim/internal/rescache"
+	"dcasim/internal/stats"
+)
+
+// SweepSpec is a user-authored, fully serializable scenario sweep: a
+// preset scale, a base patch, named axes of config overrides, and the
+// metrics to report. The engine runs the cartesian product of the axes
+// through the memoizing (and, with a cache directory, persistent)
+// runner and renders one table row per point — so exploring a new knob,
+// including ones no CLI flag exposes, is writing JSON, not Go.
+type SweepSpec struct {
+	Schema int    `json:"schema"`
+	Name   string `json:"name"`
+
+	// Scale names the preset the sweep starts from ("paper", "bench",
+	// or "test"); Base then patches it (deep-merged JSON, see
+	// config.Config.Patch). Benchmarks and seed come from the resulting
+	// config, not from workload mixes.
+	Scale string          `json:"scale"`
+	Base  json.RawMessage `json:"base,omitempty"`
+
+	Axes    []SweepAxis `json:"axes"`
+	Metrics []string    `json:"metrics"`
+}
+
+// SweepAxis is one named dimension of the sweep.
+type SweepAxis struct {
+	Name   string       `json:"name"`
+	Values []SweepPoint `json:"values"`
+}
+
+// SweepPoint is one value of an axis: a display label and the partial
+// config it applies.
+type SweepPoint struct {
+	Label string          `json:"label"`
+	Set   json.RawMessage `json:"set"`
+}
+
+// LoadSweep reads and validates a sweep spec. Unknown fields are errors
+// for the same reason they are in config.Load: a typo silently ignored
+// would sweep the wrong machine.
+func LoadSweep(path string) (SweepSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SweepSpec{}, fmt.Errorf("exp: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s SweepSpec
+	if err := dec.Decode(&s); err != nil {
+		return SweepSpec{}, fmt.Errorf("exp: decode sweep %s: %w", path, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return SweepSpec{}, fmt.Errorf("exp: %s: trailing data after the sweep document", path)
+	}
+	if err := s.Validate(); err != nil {
+		return SweepSpec{}, fmt.Errorf("exp: sweep %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate reports the first structural problem with the spec.
+func (s SweepSpec) Validate() error {
+	if s.Schema != config.SchemaVersion {
+		return fmt.Errorf("schema %d, this build expects %d", s.Schema, config.SchemaVersion)
+	}
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("no axes")
+	}
+	for _, ax := range s.Axes {
+		if ax.Name == "" {
+			return fmt.Errorf("axis with empty name")
+		}
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("axis %q has no values", ax.Name)
+		}
+	}
+	if len(s.Metrics) == 0 {
+		return fmt.Errorf("no metrics")
+	}
+	for _, m := range s.Metrics {
+		if m == MetricWS {
+			return fmt.Errorf("metric %q needs per-benchmark alone runs over workload mixes and is only available to table specs, not sweeps", MetricWS)
+		}
+		if _, err := lookupMetric(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Points returns the cartesian product of the axes in row-major order
+// (first axis slowest), as index vectors into Axes[i].Values.
+func (s SweepSpec) Points() [][]int {
+	total := 1
+	for _, ax := range s.Axes {
+		total *= len(ax.Values)
+	}
+	points := make([][]int, 0, total)
+	idx := make([]int, len(s.Axes))
+	for {
+		points = append(points, append([]int(nil), idx...))
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(s.Axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return points
+		}
+	}
+}
+
+// pointConfig resolves the config of one cartesian point.
+func (s SweepSpec) pointConfig(base config.Config, idx []int) (config.Config, error) {
+	patches := make([]json.RawMessage, 0, len(idx))
+	for i, v := range idx {
+		patches = append(patches, s.Axes[i].Values[v].Set)
+	}
+	cfg, err := base.Patch(patches...)
+	if err != nil {
+		return cfg, fmt.Errorf("exp: sweep point %s: %w", s.pointLabel(idx), err)
+	}
+	return cfg, nil
+}
+
+func (s SweepSpec) pointLabel(idx []int) string {
+	var b bytes.Buffer
+	for i, v := range idx {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%s=%s", s.Axes[i].Name, s.Axes[i].Values[v].Label)
+	}
+	return b.String()
+}
+
+// RunSweep evaluates the spec: resolve the base config, enumerate the
+// cartesian product, compute every point (bounded-parallel, consulting
+// the persistent cache when one is attached), and render one row per
+// point with the requested metric columns. Runs with no sample for a
+// metric render "-".
+func RunSweep(spec SweepSpec, workers int, cache *rescache.Cache) (*stats.Table, *Runner, error) {
+	// LoadSweep validates too, but specs can also be built in Go and
+	// handed straight here; a structural error must not surface as a
+	// panic after the simulations already ran.
+	if err := spec.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("exp: sweep %s: %w", spec.Name, err)
+	}
+	base, err := config.ParsePreset(spec.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err = base.Patch(spec.Base)
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp: sweep base: %w", err)
+	}
+
+	points := spec.Points()
+	cfgs := make([]config.Config, len(points))
+	for i, idx := range points {
+		if cfgs[i], err = spec.pointConfig(base, idx); err != nil {
+			return nil, nil, err
+		}
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, nil, fmt.Errorf("exp: sweep point %s: %w", spec.pointLabel(idx), err)
+		}
+		// Points run in parallel, so a shared RecordPath would have
+		// every run truncating (and, on failure, deleting) the same
+		// trace file mid-write.
+		if cfgs[i].RecordPath != "" {
+			return nil, nil, fmt.Errorf("exp: sweep point %s: RecordPath is not supported in sweeps (parallel points would overwrite one trace file)", spec.pointLabel(idx))
+		}
+	}
+
+	r := NewRunner(base, nil, workers)
+	if cache != nil {
+		r.SetCache(cache)
+	}
+	if err := r.Ensure(cfgs); err != nil {
+		return nil, nil, err
+	}
+
+	header := make([]string, 0, len(spec.Axes)+len(spec.Metrics))
+	for _, ax := range spec.Axes {
+		header = append(header, ax.Name)
+	}
+	header = append(header, spec.Metrics...)
+	tbl := stats.NewTable(header...)
+	for i, idx := range points {
+		res := r.result(cfgs[i])
+		row := make([]interface{}, 0, len(header))
+		for ai, v := range idx {
+			row = append(row, spec.Axes[ai].Values[v].Label)
+		}
+		for _, m := range spec.Metrics {
+			f, _ := lookupMetric(m)
+			if v, ok := f(res); ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		tbl.AddRowf(row...)
+	}
+	return tbl, r, nil
+}

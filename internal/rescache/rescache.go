@@ -1,0 +1,147 @@
+// Package rescache is the persistent, content-addressed result cache of
+// the evaluation harness. A simulation run is a pure function of its
+// config (PR 3's replay verification pins this down to the bit), so a
+// result can be stored on disk keyed by config.Config.Hash() and reused
+// by any later process — a warm cache makes a full evaluation pass cost
+// approximately zero simulations.
+//
+// Layout: one JSON file per entry, <dir>/<key>.json, holding a small
+// envelope {schema, key, sha256, result}. An entry is trusted only when
+// the envelope decodes, the schema and key match, and the SHA-256 of the
+// embedded result bytes matches — anything else (truncation, bit rot,
+// a file from an older schema) reads as a miss and is recomputed and
+// overwritten, never trusted. Writes go through a temp file and rename,
+// so concurrent processes sharing a directory see whole entries or none.
+package rescache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dcasim/internal/config"
+	"dcasim/internal/sim"
+)
+
+// Cache is a directory of content-addressed simulation results.
+type Cache struct {
+	dir string
+}
+
+// entry is the on-disk envelope around one result.
+type entry struct {
+	Schema int             `json:"schema"`
+	Key    string          `json:"key"`
+	SHA256 string          `json:"sha256"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Open returns a cache rooted at dir, creating the directory if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("rescache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Path returns the file an entry for key lives at (whether or not it
+// exists yet).
+func (c *Cache) Path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// validKey reports whether key is a hex digest — the only file names the
+// cache will touch, so a corrupted or hostile key cannot escape the
+// cache directory.
+func validKey(key string) bool {
+	if len(key) == 0 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if (b < '0' || b > '9') && (b < 'a' || b > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the cached result for key. ok is false on a miss or on any
+// integrity failure; the caller recomputes either way.
+func (c *Cache) Get(key string) (res sim.Result, ok bool) {
+	if !validKey(key) {
+		return sim.Result{}, false
+	}
+	data, err := os.ReadFile(c.Path(key))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil {
+		return sim.Result{}, false
+	}
+	if e.Schema != config.SchemaVersion || e.Key != key {
+		return sim.Result{}, false
+	}
+	// The envelope is written indented, which re-indents the embedded
+	// payload; the checksum is over the canonical compact bytes, so
+	// compact before comparing.
+	var compact bytes.Buffer
+	if json.Compact(&compact, e.Result) != nil {
+		return sim.Result{}, false
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	if hex.EncodeToString(sum[:]) != e.SHA256 {
+		return sim.Result{}, false
+	}
+	if json.Unmarshal(e.Result, &res) != nil {
+		return sim.Result{}, false
+	}
+	return res, true
+}
+
+// Put stores a result under key, atomically replacing any existing entry.
+func (c *Cache) Put(key string, res sim.Result) error {
+	if !validKey(key) {
+		return fmt.Errorf("rescache: invalid key %q", key)
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("rescache: encode result: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.MarshalIndent(entry{
+		Schema: config.SchemaVersion,
+		Key:    key,
+		SHA256: hex.EncodeToString(sum[:]),
+		Result: payload,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("rescache: encode entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("rescache: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("rescache: write entry: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), c.Path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("rescache: %w", err)
+	}
+	return nil
+}

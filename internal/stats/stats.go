@@ -5,7 +5,10 @@
 package stats
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 )
@@ -80,6 +83,71 @@ func (t *Table) AddRowf(cells ...interface{}) {
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// Header returns the column headers.
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the formatted cell strings, row-major. The slice is the
+// table's backing store; callers must not mutate it.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// MarshalJSON encodes the table as {"header": [...], "rows": [[...]]},
+// the machine-readable form behind the -format json output modes.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.header, rows})
+}
+
+// CheckFormat validates a -format flag value up front, so a typo fails
+// before any simulation work rather than at the first rendered table.
+func CheckFormat(format string) error {
+	switch format {
+	case "text", "csv", "json":
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (want text, csv, or json)", format)
+}
+
+// Write renders the table in the given format ("text", "csv", "json") —
+// the one implementation behind every command's -format flag.
+func (t *Table) Write(w io.Writer, format string) error {
+	switch format {
+	case "text":
+		_, err := io.WriteString(w, t.String())
+		return err
+	case "csv":
+		return t.WriteCSV(w)
+	case "json":
+		data, err := t.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", data)
+		return err
+	}
+	return CheckFormat(format)
+}
+
+// WriteCSV emits the table as RFC 4180 CSV, header row first.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // String renders the table with aligned columns.

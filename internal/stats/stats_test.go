@@ -91,3 +91,50 @@ func TestTableRendering(t *testing.T) {
 		t.Fatalf("columns misaligned: %d vs %d\n%s", idx0, idx2, out)
 	}
 }
+
+func TestTableAccessors(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRowf("a", 1.5)
+	if got := tbl.Header(); len(got) != 2 || got[0] != "name" {
+		t.Fatalf("Header() = %v", got)
+	}
+	rows := tbl.Rows()
+	if len(rows) != 1 || rows[0][0] != "a" || rows[0][1] != "1.500" {
+		t.Fatalf("Rows() = %v", rows)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRowf("a", 1.5)
+	data, err := tbl.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"header":["name","value"],"rows":[["a","1.500"]]}`
+	if string(data) != want {
+		t.Fatalf("JSON = %s, want %s", data, want)
+	}
+	empty := NewTable("x")
+	data, err = empty.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"header":["x"],"rows":[]}` {
+		t.Fatalf("empty-table JSON = %s", data)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRowf("a,with comma", 1.5)
+	tbl.AddRow("b", "x")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\n\"a,with comma\",1.500\nb,x\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
