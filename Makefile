@@ -9,11 +9,22 @@
 #                      one small figure benchmark, with allocation stats
 #   make bench-json  - run the scheduler-sensitive benchmarks (Fig8,
 #                      SimOneRun, ChannelIssue) with -benchmem and emit
-#                      BENCH_controller.json (archived by CI per PR)
+#                      $(BENCH_OUT) (default BENCH_controller.json,
+#                      archived by CI per PR)
+#   make bench-gate  - re-run the guarded benchmarks and fail if they
+#                      regressed past tolerance vs the checked-in
+#                      BENCH_controller.json (CI job, cmd/benchdiff)
+#   make bench-parallel - cold-cache Fig8 A/B at -j 1 vs -j 8, emitted
+#                      as BENCH_parallel.json (the parallel-engine
+#                      speedup record)
+#   make determinism - render the Fig8 smoke table at -j 1 and -j 8
+#                      under -race and require byte-identical output
+#                      (CI job)
 
 GO ?= go
+BENCH_OUT ?= BENCH_controller.json
 
-.PHONY: all build vet test race fuzz-short sweep-smoke bench-short bench-json ci
+.PHONY: all build vet test race fuzz-short sweep-smoke bench-short bench-json bench-gate bench-parallel determinism ci
 
 all: ci
 
@@ -59,8 +70,45 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8$$' -benchmem -benchtime 2x . >> bench_controller.out
 	$(GO) test -run '^$$' -bench 'BenchmarkSimOneRun$$' -benchmem -benchtime 20x . >> bench_controller.out
 	$(GO) test -run '^$$' -bench 'BenchmarkChannelIssue$$' -benchmem -benchtime 0.2s . >> bench_controller.out
-	$(GO) run ./cmd/benchjson < bench_controller.out > BENCH_controller.json
+	$(GO) run ./cmd/benchjson < bench_controller.out > $(BENCH_OUT)
 	@rm -f bench_controller.out
-	@cat BENCH_controller.json
+	@cat $(BENCH_OUT)
+
+# Perf-regression gate: measure the guarded benchmarks into a scratch
+# report and diff it against the checked-in baseline (cmd/benchdiff
+# defaults: >15% time/op fails, allocs/op may grow at most 1% — zero
+# stays strict). GOMAXPROCS is pinned to 1 so the measurement is the
+# serial path the baseline records: otherwise Fig8 (whose worker pool
+# defaults to the core count) would run faster on any multi-core
+# machine and a genuine serial regression could hide inside the
+# parallel speedup, and its allocation count would skew with the pool's
+# goroutine count. Cross-machine clock differences are what the 15%
+# time tolerance absorbs; refresh the baseline (make bench-json) when a
+# PR intentionally moves it.
+bench-gate:
+	GOMAXPROCS=1 $(MAKE) bench-json BENCH_OUT=BENCH_current.json
+	$(GO) run ./cmd/benchdiff BENCH_controller.json BENCH_current.json
+	@rm -f BENCH_current.json
+
+# Parallel-engine speedup record: the same cold-cache Fig8 evaluation at
+# one worker and at eight, A/B in one pass so the pair shares machine
+# conditions. The report carries the recording machine's core count
+# ("cpus"): the ratio only shows scaling when the machine has cores to
+# scale onto.
+bench-parallel:
+	@rm -f bench_parallel.out
+	$(GO) test -run '^$$' -bench 'BenchmarkFig8J1$$|BenchmarkFig8J8$$' -benchmem -benchtime 2x . >> bench_parallel.out
+	$(GO) run ./cmd/benchjson < bench_parallel.out > BENCH_parallel.json
+	@rm -f bench_parallel.out
+	@cat BENCH_parallel.json
+
+# Parallel determinism: the Fig8 smoke table must render byte-identical
+# at -j 1 and -j 8, with the race detector watching the worker pool.
+determinism:
+	$(GO) run -race ./cmd/experiments -scale test -mixes 2 -only fig8 -j 1 -format text > .det-j1.txt
+	$(GO) run -race ./cmd/experiments -scale test -mixes 2 -only fig8 -j 8 -format text > .det-j8.txt
+	cmp .det-j1.txt .det-j8.txt
+	@rm -f .det-j1.txt .det-j8.txt
+	@echo "parallel determinism OK: -j 1 and -j 8 byte-identical"
 
 ci: build vet test

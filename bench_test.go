@@ -144,6 +144,21 @@ func BenchmarkFig19(b *testing.B) {
 	}
 }
 
+// --- Parallel experiment engine (make bench-parallel) ---
+
+// benchFig8J regenerates Fig. 8 from a cold in-memory memo (no
+// persistent cache) at a fixed worker count; the J1/J8 pair recorded in
+// BENCH_parallel.json is the parallel engine's speedup measurement.
+func benchFig8J(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := NewRunner(TestConfig(), benchMixes(), workers).Fig8()
+		reportTable(b, tbl, err)
+	}
+}
+
+func BenchmarkFig8J1(b *testing.B) { benchFig8J(b, 1) }
+func BenchmarkFig8J8(b *testing.B) { benchFig8J(b, 8) }
+
 // --- Extension studies (paper prose claims; see internal/exp) ---
 
 func BenchmarkExtTWTRSweep(b *testing.B) {

@@ -1,0 +1,72 @@
+// Command benchdiff compares two benchjson reports and fails on a
+// performance regression — the CI bench-gate: a PR that slows a guarded
+// benchmark past the time tolerance, or adds a single allocation per op
+// to the zero-alloc kernel benchmarks, exits nonzero instead of landing
+// silently.
+//
+//	benchdiff [-time-tol 15] [-alloc-tol 0] [-alloc-tol-pct 1] baseline.json current.json
+//
+// The time tolerance absorbs machine noise (benchmarks run on whatever
+// runner CI hands out). Allocs/op may grow by at most
+// max(alloc-tol, baseline*alloc-tol-pct/100) — both tolerances preserve
+// zero, so a zero-alloc kernel benchmark fails on a single new
+// allocation per op, while allocation-heavy end-to-end benchmarks get
+// ~1% headroom for GOMAXPROCS-dependent worker-pool skew. A benchmark
+// present in the baseline but missing from the current report also
+// fails — dropping a benchmark must not green the gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dcasim/internal/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		timeTol     = flag.Float64("time-tol", 15, "allowed ns/op growth in percent")
+		allocTol    = flag.Int64("alloc-tol", 0, "allowed allocs/op growth (absolute)")
+		allocTolPct = flag.Float64("alloc-tol-pct", 1, "allowed allocs/op growth in percent of the baseline (zero-alloc baselines stay strict)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-time-tol pct] [-alloc-tol n] [-alloc-tol-pct pct] baseline.json current.json")
+		os.Exit(2)
+	}
+	baseline, err := benchfmt.Load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	current, err := benchfmt.Load(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(baseline.Benchmarks) == 0 {
+		log.Fatalf("baseline %s carries no benchmarks — refusing to vacuously pass", flag.Arg(0))
+	}
+
+	rows, failed := benchfmt.Compare(baseline, current, *timeTol, *allocTol, *allocTolPct)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tbase ns/op\tcur ns/op\tΔtime\tbase allocs\tcur allocs\tverdict")
+	for _, r := range rows {
+		if r.Verdict == benchfmt.Missing {
+			fmt.Fprintf(w, "%s\t%.0f\t-\t-\t%d\t-\t%s\n", r.Name, r.BaseNs, r.BaseAllocs, r.Verdict)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%\t%d\t%d\t%s\n",
+			r.Name, r.BaseNs, r.CurNs, r.TimeDeltaPct, r.BaseAllocs, r.CurAllocs, r.Verdict)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if failed {
+		log.Fatalf("FAIL: regression beyond tolerance (time +%.0f%%, allocs +max(%d, %.1f%%))", *timeTol, *allocTol, *allocTolPct)
+	}
+	fmt.Printf("OK: %d benchmarks within tolerance (time +%.0f%%, allocs +max(%d, %.1f%%))\n", len(rows), *timeTol, *allocTol, *allocTolPct)
+}

@@ -1,85 +1,23 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // JSON document on stdout, so CI can archive benchmark results as a
 // machine-readable artifact and track the performance trajectory per PR.
+// The parsing and document shape live in internal/benchfmt, shared with
+// cmd/benchdiff (the CI regression gate).
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson > BENCH.json
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
-	"time"
+
+	"dcasim/internal/benchfmt"
 )
 
-// Benchmark is one parsed result line.
-type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-}
-
-// Report is the emitted document.
-type Report struct {
-	Timestamp  string      `json:"timestamp"`
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
 func main() {
-	rep := Report{Timestamp: time.Now().UTC().Format(time.RFC3339)}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-			continue
-		case strings.HasPrefix(line, "goarch:"):
-			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-			continue
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-			continue
-		case !strings.HasPrefix(line, "Benchmark"):
-			continue
-		}
-		f := strings.Fields(line)
-		// Name  N  ns/op-value "ns/op"  [B/op-value "B/op"  allocs-value "allocs/op"]
-		if len(f) < 4 || f[3] != "ns/op" {
-			continue
-		}
-		b := Benchmark{Name: f[0]}
-		var err error
-		if b.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
-			continue
-		}
-		if b.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
-			continue
-		}
-		for i := 4; i+1 < len(f); i += 2 {
-			v, err := strconv.ParseInt(f[i], 10, 64)
-			if err != nil {
-				continue
-			}
-			switch f[i+1] {
-			case "B/op":
-				b.BytesPerOp = v
-			case "allocs/op":
-				b.AllocsPerOp = v
-			}
-		}
-		rep.Benchmarks = append(rep.Benchmarks, b)
-	}
-	if err := sc.Err(); err != nil {
+	rep, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

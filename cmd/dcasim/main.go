@@ -8,7 +8,7 @@
 //	       [-bench m1,m2,m3,m4] [-instr N] [-scale bench|test|paper] [-seed N]
 //	       [-config cfg.json] [-save-config cfg.json] [-cache dir]
 //
-//	dcasim sweep -spec spec.json [-cache dir] [-workers N] [-format text|csv|json]
+//	dcasim sweep -spec spec.json [-cache dir] [-j N] [-format text|csv|json]
 //
 // -config loads a scenario written by -save-config (or by hand): the
 // file is the complete serialized configuration, and any flags given
@@ -18,7 +18,10 @@
 //
 // The sweep subcommand evaluates a declarative sweep spec — a base
 // config plus named axes of JSON overrides, run over their cartesian
-// product — against the same cache. See examples/sweep/ and the README.
+// product — against the same cache, fanning the points out over -j
+// parallel workers (default: all CPUs; -workers is an alias). The
+// rendered table is byte-identical at every -j, and on a terminal
+// stderr shows live progress. See examples/sweep/ and the README.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"dcasim"
@@ -58,8 +62,13 @@ func main() {
 		cfgPath  = flag.String("config", "", "load the full configuration from this JSON file (explicit flags still override)")
 		savePath = flag.String("save-config", "", "write the resolved configuration to this JSON file and exit")
 		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
+		workers  = flag.Int("j", runtime.NumCPU(), "runner worker-pool bound (a single run occupies one worker)")
 	)
+	flag.IntVar(workers, "workers", *workers, "alias for -j")
 	flag.Parse()
+	if err := exp.ValidateWorkers(*workers); err != nil {
+		log.Fatal(err)
+	}
 
 	var cfg dcasim.Config
 	var err error
@@ -117,7 +126,7 @@ func main() {
 		return
 	}
 
-	res, err := cachedRun(cfg, *cacheDir)
+	res, err := cachedRun(cfg, *cacheDir, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,7 +159,7 @@ func main() {
 // directory is configured, so repeating a run costs nothing. It routes
 // through the exp runner — the one tested implementation of the
 // memo/cache/trace-bypass rules — rather than re-deriving them here.
-func cachedRun(cfg dcasim.Config, cacheDir string) (sim.Result, error) {
+func cachedRun(cfg dcasim.Config, cacheDir string, workers int) (sim.Result, error) {
 	if cacheDir == "" {
 		return sim.Run(cfg)
 	}
@@ -158,7 +167,7 @@ func cachedRun(cfg dcasim.Config, cacheDir string) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	r := exp.NewRunner(cfg, nil, 1)
+	r := exp.NewRunner(cfg, nil, workers)
 	r.SetCache(cache)
 	res, err := r.Run(cfg)
 	if err != nil {
@@ -179,16 +188,22 @@ func runSweep(args []string) {
 	var (
 		specPath = fs.String("spec", "", "sweep spec JSON file (required)")
 		cacheDir = fs.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
-		workers  = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		workers  = fs.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		format   = fs.String("format", "text", "output format: text, csv, or json")
 	)
-	fs.Parse(args)
+	fs.IntVar(workers, "workers", *workers, "alias for -j")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err) // unreachable under ExitOnError; keeps the error visibly handled
+	}
 	if *specPath == "" {
 		fs.Usage()
 		log.Fatal("sweep: -spec is required")
 	}
 	if err := stats.CheckFormat(*format); err != nil {
 		// Fail before the sweep runs, not after.
+		log.Fatal(err)
+	}
+	if err := exp.ValidateWorkers(*workers); err != nil {
 		log.Fatal(err)
 	}
 	spec, err := exp.LoadSweep(*specPath)
@@ -201,15 +216,15 @@ func runSweep(args []string) {
 			log.Fatal(err)
 		}
 	}
-	tbl, runner, err := exp.RunSweep(spec, *workers, cache)
+	tbl, runner, err := exp.RunSweep(spec, *workers, cache, exp.StderrProgress())
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := tbl.Write(os.Stdout, *format); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "[sweep %s: %d points, %d simulated, rest cached]\n",
-		spec.Name, len(spec.Points()), runner.SimRuns())
+	fmt.Fprintf(os.Stderr, "[sweep %s: %d points at -j %d, %d simulated, %d cache hits]\n",
+		spec.Name, len(spec.Points()), *workers, runner.SimRuns(), runner.CacheHits())
 	if err := runner.CacheErr(); err != nil {
 		fmt.Fprintf(os.Stderr, "[cache write failed: %v]\n", err)
 	}

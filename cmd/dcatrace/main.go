@@ -12,7 +12,7 @@
 //
 //	dcatrace -record foo.dct -mix mcf,lbm,libquantum,omnetpp -scale test
 //	dcatrace -replay foo.dct -design dca -org sa
-//	dcatrace -verify -mix mcf,lbm,libquantum,omnetpp -scale test
+//	dcatrace -verify -mix mcf,lbm,libquantum,omnetpp -scale test [-j N]
 //
 // -record runs the mix live and captures every operation each core
 // consumes (warm-up included). -replay simulates from the file: core
@@ -21,7 +21,8 @@
 // flags — one recording drives any controller design and organization.
 // -verify performs the round trip for every design × organization and
 // fails loudly unless each replayed result is bit-identical to its live
-// counterpart.
+// counterpart; the grid fans out over -j parallel workers (default: all
+// CPUs) with output committed in grid order.
 package main
 
 import (
@@ -31,11 +32,14 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 
 	"dcasim/internal/config"
 	"dcasim/internal/core"
 	"dcasim/internal/dcache"
+	"dcasim/internal/exp"
 	"dcasim/internal/sim"
 	"dcasim/internal/workload"
 )
@@ -58,8 +62,13 @@ func main() {
 		cfgName = flag.String("scale", "test", "configuration scale for record/replay/verify: test or bench")
 		design  = flag.String("design", "dca", "controller design: cd, rod, or dca (replay/record modes)")
 		org     = flag.String("org", "sa", "cache organization: sa or dm (replay/record modes)")
+		workers = flag.Int("j", runtime.NumCPU(), "parallel workers for the -verify design x organization grid")
 	)
+	flag.IntVar(workers, "workers", *workers, "alias for -j")
 	flag.Parse()
+	if err := exp.ValidateWorkers(*workers); err != nil {
+		log.Fatal(err)
+	}
 
 	switch {
 	case *list:
@@ -69,7 +78,7 @@ func main() {
 	case *replay != "":
 		runReplay(*replay, *cfgName, *design, *org)
 	case *verify:
-		runVerify(*mix, *cfgName, *seed)
+		runVerify(*mix, *cfgName, *seed, *workers)
 	case *summary:
 		summarize(*bench, *seed, *scale, *n)
 	default:
@@ -131,7 +140,11 @@ func runReplay(path, cfgName, design, org string) {
 
 // runVerify records the mix once, then checks that replaying the file
 // reproduces a live run bit for bit under every design × organization.
-func runVerify(mix, cfgName string, seed uint64) {
+// The grid cells are independent (each replay opens its own handle on
+// the recorded trace), so they fan out over a bounded pool of workers;
+// per-cell reports are committed by grid index, keeping the output
+// byte-identical at every -j.
+func runVerify(mix, cfgName string, seed uint64, workers int) {
 	dir, err := os.MkdirTemp("", "dcatrace-verify")
 	if err != nil {
 		log.Fatal(err)
@@ -147,31 +160,62 @@ func runVerify(mix, cfgName string, seed uint64) {
 		log.Fatal(err)
 	}
 
-	failed := false
+	type cell struct {
+		d core.Design
+		o dcache.Org
+	}
+	var cells []cell
 	for _, d := range []core.Design{core.CD, core.ROD, core.DCA} {
 		for _, o := range []dcache.Org{dcache.SetAssoc, dcache.DirectMapped} {
+			cells = append(cells, cell{d, o})
+		}
+	}
+
+	reports := make([]string, len(cells))
+	failures := make([]bool, len(cells))
+	errs := make([]error, len(cells))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			live := baseConfig(cfgName, "cd", "sa")
 			live.Benchmarks = strings.Split(mix, ",")
 			live.Seed = seed
-			live.Design, live.Org = d, o
+			live.Design, live.Org = c.d, c.o
 			want, err := sim.Run(live)
 			if err != nil {
-				log.Fatal(err)
+				errs[i] = err
+				return
 			}
 			rep := baseConfig(cfgName, "cd", "sa")
-			rep.Design, rep.Org = d, o
+			rep.Design, rep.Org = c.d, c.o
 			rep.TracePath = path
 			got, err := sim.Run(rep)
 			if err != nil {
-				log.Fatal(err)
+				errs[i] = err
+				return
 			}
 			if reflect.DeepEqual(got, want) {
-				fmt.Printf("%-4v %-13v bit-identical (IPC %s)\n", d, o, ipcs(want.IPC))
+				reports[i] = fmt.Sprintf("%-4v %-13v bit-identical (IPC %s)", c.d, c.o, ipcs(want.IPC))
 			} else {
-				failed = true
-				fmt.Printf("%-4v %-13v MISMATCH\n  live:   %+v\n  replay: %+v\n", d, o, want, got)
+				failures[i] = true
+				reports[i] = fmt.Sprintf("%-4v %-13v MISMATCH\n  live:   %+v\n  replay: %+v", c.d, c.o, want, got)
 			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	failed := false
+	for i := range cells {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
 		}
+		fmt.Println(reports[i])
+		failed = failed || failures[i]
 	}
 	if failed {
 		log.Fatal("replay verification FAILED")

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-mixes N] [-workers N] [-scale bench|test] [-only fig8,fig9,...]
+//	experiments [-mixes N] [-j N] [-scale bench|test] [-only fig8,fig9,...]
 //	            [-cache dir] [-format text|csv|json]
 //
 // By default it runs all 30 Table I workload mixes at the bench scale and
@@ -12,6 +12,12 @@
 // memoizing runner; with -cache (default $DCASIM_CACHE) results persist
 // in a content-addressed directory, so a repeated invocation — locally
 // or in CI — recomputes nothing.
+//
+// -j bounds the worker pool fanning out the independent simulation runs
+// (default: all CPUs; -workers is an alias). Output is byte-identical at
+// every -j: results commit in spec order, not completion order. On a
+// terminal, stderr shows live progress (runs done, simulated vs cached,
+// ETA); in batch logs it stays quiet.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,18 +42,22 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		nmixes   = flag.Int("mixes", 30, "number of Table I mixes to evaluate (1-30)")
-		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		workers  = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		scale    = flag.String("scale", "bench", "configuration scale: bench or test")
 		only     = flag.String("only", "", "comma-separated subset, e.g. tableI,fig8,fig18")
 		seed     = flag.Uint64("seed", 1, "base random seed")
 		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
 		format   = flag.String("format", "text", "table output format: text, csv, or json")
 	)
+	flag.IntVar(workers, "workers", *workers, "alias for -j")
 	flag.Parse()
 
 	// Validate before any simulation: a typo must not cost a full
 	// bench-scale sweep before failing at the first table.
 	if err := stats.CheckFormat(*format); err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.ValidateWorkers(*workers); err != nil {
 		log.Fatal(err)
 	}
 
@@ -63,6 +74,7 @@ func main() {
 	mixes = mixes[:*nmixes]
 
 	runner := dcasim.NewRunner(cfg, mixes, *workers)
+	runner.SetProgress(exp.StderrProgress())
 	if *cacheDir != "" {
 		cache, err := rescache.Open(*cacheDir)
 		if err != nil {
@@ -147,6 +159,6 @@ func main() {
 	if err := runner.CacheErr(); err != nil {
 		fmt.Fprintf(os.Stderr, "[cache write failed: %v]\n", err)
 	}
-	fmt.Fprintf(os.Stderr, "[all selected experiments done in %v over %d mixes; %d simulations executed]\n",
-		time.Since(start).Round(time.Millisecond), len(mixes), runner.SimRuns())
+	fmt.Fprintf(os.Stderr, "[all selected experiments done in %v over %d mixes at -j %d; %d simulations executed, %d cache hits]\n",
+		time.Since(start).Round(time.Millisecond), len(mixes), *workers, runner.SimRuns(), runner.CacheHits())
 }

@@ -112,10 +112,22 @@ type SweepSpec = exp.SweepSpec
 // LoadSweep reads and validates a sweep spec file.
 func LoadSweep(path string) (SweepSpec, error) { return exp.LoadSweep(path) }
 
-// RunSweep evaluates a sweep spec; cache may be nil.
-func RunSweep(spec SweepSpec, workers int, cache *ResultCache) (*Table, *Runner, error) {
-	return exp.RunSweep(spec, workers, cache)
+// RunSweep evaluates a sweep spec over a bounded worker pool (workers
+// must be >= 1; output is byte-identical at every worker count); cache
+// may be nil, and an optional progress observer receives per-run events.
+func RunSweep(spec SweepSpec, workers int, cache *ResultCache, progress ...ProgressFunc) (*Table, *Runner, error) {
+	return exp.RunSweep(spec, workers, cache, progress...)
 }
+
+// ProgressFunc observes experiment-engine run-completion events.
+type ProgressFunc = exp.ProgressFunc
+
+// StderrProgress returns the live stderr progress reporter (nil outside
+// a terminal, which disables reporting).
+func StderrProgress() ProgressFunc { return exp.StderrProgress() }
+
+// ValidateWorkers rejects worker counts below 1.
+func ValidateWorkers(j int) error { return exp.ValidateWorkers(j) }
 
 // LoadConfig reads a configuration written by SaveConfig (a versioned
 // JSON envelope; see internal/config).

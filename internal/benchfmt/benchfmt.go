@@ -1,0 +1,221 @@
+// Package benchfmt is the shared model of the repo's benchmark
+// artifacts: the JSON report cmd/benchjson emits from `go test -bench`
+// text output (BENCH_controller.json, BENCH_parallel.json) and the
+// regression comparison cmd/benchdiff applies between two such reports
+// in the CI bench-gate job.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Timestamp  string      `json:"timestamp"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	CPUs       int         `json:"cpus,omitempty"` // cores on the recording machine
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse converts `go test -bench` text output into a Report stamped with
+// the current time and machine shape. Unparseable lines are skipped —
+// test chatter interleaves freely with benchmark results.
+func Parse(r io.Reader) (Report, error) {
+	rep := Report{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		CPUs:      runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		// Name  N  ns/op-value "ns/op"  [B/op-value "B/op"  allocs-value "allocs/op"]
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		b := Benchmark{Name: f[0]}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			continue
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
+			continue
+		}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Load reads a Report previously written as JSON.
+func Load(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("benchfmt: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("benchfmt: decode %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Verdict classifies one baseline/current benchmark pair.
+type Verdict int
+
+// Verdicts, ordered from fine to fatal.
+const (
+	OK        Verdict = iota // within tolerance
+	Improved                 // measurably faster or leaner
+	TimeRegr                 // ns/op beyond the time tolerance
+	AllocRegr                // allocs/op above the alloc tolerance
+	Missing                  // benchmark present in the baseline, absent now
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case Improved:
+		return "improved"
+	case TimeRegr:
+		return "TIME REGRESSION"
+	case AllocRegr:
+		return "ALLOC REGRESSION"
+	case Missing:
+		return "MISSING"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Fatal reports whether the verdict must fail the gate.
+func (v Verdict) Fatal() bool { return v >= TimeRegr }
+
+// DiffRow is the comparison of one benchmark across two reports.
+type DiffRow struct {
+	Name                  string
+	BaseNs, CurNs         float64
+	TimeDeltaPct          float64
+	BaseAllocs, CurAllocs int64
+	Verdict               Verdict
+}
+
+// trimProcs strips the "-N" GOMAXPROCS suffix `go test` appends to
+// benchmark names on multi-core machines (and omits on one core), so a
+// baseline recorded at one core count compares against a run at another.
+// Sub-benchmarks whose own name ends in "-<digits>" would be ambiguous;
+// the guarded benchmark set has none.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// Compare evaluates current against baseline. timeTolPct is the allowed
+// ns/op growth in percent (e.g. 15 → fail beyond +15%). Allocs/op may
+// grow by max(allocTol, baseline*allocTolPct/100): the absolute and
+// relative tolerances are both zero-preserving, so a zero-alloc kernel
+// benchmark fails on a single new allocation per op (the gate's core
+// contract) while allocation-heavy end-to-end benchmarks get headroom
+// for run-to-run and GOMAXPROCS-dependent skew (the worker pool's
+// goroutine count follows the core count). A benchmark in the baseline
+// but not in current fails — a silently dropped benchmark must not
+// green the gate. Benchmarks only in current are ignored: new coverage
+// is not a regression. Names match modulo the GOMAXPROCS suffix, so
+// reports from machines with different core counts compare.
+func Compare(baseline, current Report, timeTolPct float64, allocTol int64, allocTolPct float64) (rows []DiffRow, failed bool) {
+	cur := make(map[string]Benchmark, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[trimProcs(b.Name)] = b
+	}
+	for _, base := range baseline.Benchmarks {
+		row := DiffRow{Name: trimProcs(base.Name), BaseNs: base.NsPerOp, BaseAllocs: base.AllocsPerOp}
+		c, ok := cur[trimProcs(base.Name)]
+		if !ok {
+			row.Verdict = Missing
+			failed = true
+			rows = append(rows, row)
+			continue
+		}
+		row.CurNs = c.NsPerOp
+		row.CurAllocs = c.AllocsPerOp
+		if base.NsPerOp > 0 {
+			row.TimeDeltaPct = 100 * (c.NsPerOp - base.NsPerOp) / base.NsPerOp
+		}
+		allowedAllocGrowth := allocTol
+		if rel := int64(float64(base.AllocsPerOp) * allocTolPct / 100); rel > allowedAllocGrowth {
+			allowedAllocGrowth = rel
+		}
+		switch {
+		case c.AllocsPerOp > base.AllocsPerOp+allowedAllocGrowth:
+			row.Verdict = AllocRegr
+			failed = true
+		case row.TimeDeltaPct > timeTolPct:
+			row.Verdict = TimeRegr
+			failed = true
+		case row.TimeDeltaPct < -5 || c.AllocsPerOp < base.AllocsPerOp:
+			row.Verdict = Improved
+		default:
+			row.Verdict = OK
+		}
+		rows = append(rows, row)
+	}
+	return rows, failed
+}

@@ -1,0 +1,184 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: dcasim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig8-8          	       2	909471722 ns/op	45654408 B/op	   23962 allocs/op
+BenchmarkSimOneRun-8     	      20	 34478108 ns/op	 1109817 B/op	     690 allocs/op
+BenchmarkChannelIssue-8  	18410629	        12.42 ns/op
+some interleaved test chatter
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("machine fields not parsed: %+v", rep)
+	}
+	if rep.CPUs < 1 {
+		t.Fatalf("CPUs not stamped: %d", rep.CPUs)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	fig8 := rep.Benchmarks[0]
+	if fig8.Name != "BenchmarkFig8-8" || fig8.Iterations != 2 ||
+		fig8.NsPerOp != 909471722 || fig8.AllocsPerOp != 23962 {
+		t.Fatalf("Fig8 mis-parsed: %+v", fig8)
+	}
+	if ch := rep.Benchmarks[2]; ch.NsPerOp != 12.42 || ch.AllocsPerOp != 0 {
+		t.Fatalf("ChannelIssue mis-parsed: %+v", ch)
+	}
+}
+
+func report(benches ...Benchmark) Report {
+	return Report{Timestamp: "2026-07-29T00:00:00Z", Benchmarks: benches}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := report(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, AllocsPerOp: 100},
+		Benchmark{Name: "BenchmarkChannelIssue", NsPerOp: 12.4},
+	)
+	cur := report(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1100, AllocsPerOp: 100}, // +10% < 15%
+		Benchmark{Name: "BenchmarkChannelIssue", NsPerOp: 12.9},
+		Benchmark{Name: "BenchmarkNewCoverage", NsPerOp: 5}, // extra benchmarks are fine
+	)
+	rows, failed := Compare(base, cur, 15, 0, 1)
+	if failed {
+		t.Fatalf("within-tolerance comparison failed: %+v", rows)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("compared %d rows, want 2 (baseline-driven)", len(rows))
+	}
+}
+
+func TestCompareTimeRegressionFails(t *testing.T) {
+	base := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000})
+	cur := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1200}) // +20% > 15%
+	rows, failed := Compare(base, cur, 15, 0, 1)
+	if !failed {
+		t.Fatal("a +20% time regression passed a 15% gate")
+	}
+	if rows[0].Verdict != TimeRegr || !rows[0].Verdict.Fatal() {
+		t.Fatalf("verdict %v, want TimeRegr", rows[0].Verdict)
+	}
+}
+
+func TestCompareAnyAllocRegressionFails(t *testing.T) {
+	// The zero-alloc kernel contract: a single extra allocation per op
+	// fails, no matter how small the time delta.
+	base := report(Benchmark{Name: "BenchmarkEventEngine", NsPerOp: 100, AllocsPerOp: 0})
+	cur := report(Benchmark{Name: "BenchmarkEventEngine", NsPerOp: 100, AllocsPerOp: 1})
+	rows, failed := Compare(base, cur, 15, 0, 1)
+	if !failed || rows[0].Verdict != AllocRegr {
+		t.Fatalf("one-alloc regression not caught: %+v", rows)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := report(
+		Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkSimOneRun", NsPerOp: 500},
+	)
+	cur := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000})
+	rows, failed := Compare(base, cur, 15, 0, 1)
+	if !failed {
+		t.Fatal("dropping a guarded benchmark passed the gate")
+	}
+	if rows[1].Verdict != Missing {
+		t.Fatalf("verdict %v, want Missing", rows[1].Verdict)
+	}
+}
+
+func TestCompareImprovementIsNotARegression(t *testing.T) {
+	base := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, AllocsPerOp: 100})
+	cur := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 500, AllocsPerOp: 50})
+	rows, failed := Compare(base, cur, 15, 0, 1)
+	if failed || rows[0].Verdict != Improved {
+		t.Fatalf("a 2x improvement misclassified: %+v", rows)
+	}
+}
+
+// TestCompareRelativeAllocTolerance: allocation-heavy benchmarks get
+// percentage headroom (the worker pool's goroutine count tracks
+// GOMAXPROCS, skewing allocs/op across machines) while zero-alloc
+// baselines remain strict — 0 * pct is still 0.
+func TestCompareRelativeAllocTolerance(t *testing.T) {
+	base := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, AllocsPerOp: 40000})
+	cur := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, AllocsPerOp: 40300}) // +0.75% < 1%
+	if _, failed := Compare(base, cur, 15, 0, 1); failed {
+		t.Fatal("+0.75% allocs failed a 1% relative tolerance")
+	}
+	cur = report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, AllocsPerOp: 40500}) // +1.25% > 1%
+	if _, failed := Compare(base, cur, 15, 0, 1); !failed {
+		t.Fatal("+1.25% allocs passed a 1% relative tolerance")
+	}
+}
+
+func TestCompareAllocTolerance(t *testing.T) {
+	base := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, AllocsPerOp: 100})
+	cur := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, AllocsPerOp: 104})
+	if _, failed := Compare(base, cur, 15, 5, 0); failed {
+		t.Fatal("+4 allocs failed a +5 tolerance")
+	}
+	if _, failed := Compare(base, cur, 15, 3, 0); !failed {
+		t.Fatal("+4 allocs passed a +3 tolerance")
+	}
+}
+
+// TestCompareAcrossCoreCounts: a baseline recorded on one core (no
+// GOMAXPROCS suffix) must match a current run from a multi-core machine
+// (suffixed names) and vice versa.
+func TestCompareAcrossCoreCounts(t *testing.T) {
+	base := report(Benchmark{Name: "BenchmarkFig8", NsPerOp: 1000, AllocsPerOp: 100})
+	cur := report(Benchmark{Name: "BenchmarkFig8-8", NsPerOp: 1010, AllocsPerOp: 100})
+	rows, failed := Compare(base, cur, 15, 0, 1)
+	if failed || len(rows) != 1 || rows[0].Verdict == Missing {
+		t.Fatalf("suffix mismatch broke the comparison: %+v", rows)
+	}
+	if trimProcs("BenchmarkFig8-16") != "BenchmarkFig8" ||
+		trimProcs("BenchmarkFig8") != "BenchmarkFig8" ||
+		trimProcs("BenchmarkFoo-bar") != "BenchmarkFoo-bar" ||
+		trimProcs("BenchmarkFoo-") != "BenchmarkFoo-" {
+		t.Fatal("trimProcs mishandles an edge case")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(rep.Benchmarks) || got.CPU != rep.CPU {
+		t.Fatalf("round trip diverged: %+v vs %+v", got, rep)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("Load accepted a missing file")
+	}
+}

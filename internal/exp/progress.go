@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress is one run-completion event of an Ensure pass: how far the
+// pass is, where the resolved runs came from, and how long it has been
+// going. ETA extrapolation is left to the consumer — it knows how it
+// wants to smooth.
+type Progress struct {
+	Done  int // distinct runs resolved so far in this Ensure pass
+	Total int // distinct runs this Ensure pass scheduled
+
+	Simulated int64 // cumulative simulations this runner executed
+	CacheHits int64 // cumulative persistent-cache hits
+
+	Elapsed time.Duration // since this Ensure pass started
+
+	// Final marks the last event of an aborted pass (a run failed with
+	// Done still short of Total): renderers must finalize their output —
+	// the error about to be reported must not splice into a live line.
+	Final bool
+}
+
+// ETA linearly extrapolates the remaining wall-clock of the pass from
+// its completion rate so far. Zero until the first run completes.
+func (p Progress) ETA() time.Duration {
+	if p.Done == 0 || p.Done >= p.Total {
+		return 0
+	}
+	return time.Duration(float64(p.Elapsed) / float64(p.Done) * float64(p.Total-p.Done))
+}
+
+// ProgressFunc observes Ensure progress. Events arrive serialized (never
+// two at once) but from worker goroutines, so implementations must not
+// call back into the runner. A nil ProgressFunc disables reporting.
+type ProgressFunc func(Progress)
+
+// ValidateWorkers rejects nonsensical worker counts at the flag
+// boundary. Every CLI defaults -j to runtime.NumCPU(), so zero or a
+// negative can only be an explicit mistake — failing loudly beats
+// silently substituting a default the user did not ask for.
+func ValidateWorkers(j int) error {
+	if j < 1 {
+		return fmt.Errorf("exp: workers must be >= 1, got %d (default is the machine's %d CPUs)", j, runtime.NumCPU())
+	}
+	return nil
+}
+
+// StderrProgress returns a ProgressFunc that renders a live one-line
+// counter to stderr — runs done/total, simulations vs cache hits, and an
+// ETA — rewriting the line in place. When stderr is not a terminal it
+// returns nil: batch logs and CI transcripts stay clean, per-table
+// summaries already cover them.
+func StderrProgress() ProgressFunc {
+	if !isTerminal(os.Stderr) {
+		return nil
+	}
+	var mu sync.Mutex
+	var lastLen int
+	var lastAt time.Time
+	return func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		// Throttle repaints; always paint a terminating event so the
+		// line ends accurate.
+		now := time.Now()
+		if p.Done < p.Total && !p.Final && now.Sub(lastAt) < 100*time.Millisecond {
+			return
+		}
+		lastAt = now
+		line := fmt.Sprintf("[exp] %d/%d runs  %d simulated  %d cache hits",
+			p.Done, p.Total, p.Simulated, p.CacheHits)
+		if eta := p.ETA(); eta > 0 {
+			line += fmt.Sprintf("  ETA %s", eta.Round(time.Second))
+		}
+		pad := ""
+		if n := lastLen - len(line); n > 0 {
+			pad = strings.Repeat(" ", n)
+		}
+		lastLen = len(line)
+		if p.Done >= p.Total || p.Final {
+			// Terminate the line: the pass is over (completed or
+			// aborted) and whatever prints next — including the error
+			// an aborted pass is about to report — must not splice
+			// into the counter.
+			fmt.Fprintf(os.Stderr, "\r%s%s\n", line, pad)
+			lastLen = 0
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\r%s%s", line, pad)
+	}
+}
+
+// isTerminal reports whether f is attached to a character device — the
+// dependency-free TTY test (no termios needed just to decide whether a
+// progress line would garble a log file).
+func isTerminal(f *os.File) bool {
+	info, err := f.Stat()
+	return err == nil && info.Mode()&os.ModeCharDevice != 0
+}

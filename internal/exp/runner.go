@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"dcasim/internal/config"
 	"dcasim/internal/core"
@@ -28,17 +29,19 @@ import (
 
 // Runner memoizes simulation runs for the experiment drivers.
 type Runner struct {
-	base    config.Config
-	mixes   []workload.Mix
-	workers int
-	cache   *rescache.Cache
+	base     config.Config
+	mixes    []workload.Mix
+	workers  int
+	cache    *rescache.Cache
+	progress ProgressFunc
 
-	mu       sync.Mutex
-	results  map[string]sim.Result // by config.Config.Hash()
-	errs     map[string]error
-	inflight map[string]*call
-	simRuns  int64 // simulations actually executed (not memo or cache hits)
-	cacheErr error // first failed cache write, surfaced via CacheErr
+	mu        sync.Mutex
+	results   map[string]sim.Result // by config.Config.Hash()
+	errs      map[string]error
+	inflight  map[string]*call
+	simRuns   int64 // simulations actually executed (not memo or cache hits)
+	cacheHits int64 // persistent-cache hits
+	cacheErr  error // first failed cache write, surfaced via CacheErr
 }
 
 // call is the in-flight record of one run (singleflight): concurrent
@@ -70,6 +73,10 @@ func NewRunner(base config.Config, mixes []workload.Mix, workers int) *Runner {
 // any simulation and updated after each one.
 func (r *Runner) SetCache(c *rescache.Cache) { r.cache = c }
 
+// SetProgress installs a progress observer for Ensure passes (nil
+// disables reporting). Set it before the first Run/Ensure/Table call.
+func (r *Runner) SetProgress(f ProgressFunc) { r.progress = f }
+
 // SimRuns returns how many simulations this runner actually executed —
 // memo and persistent-cache hits excluded. A second evaluation pass
 // against a warm cache must report zero.
@@ -77,6 +84,13 @@ func (r *Runner) SimRuns() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.simRuns
+}
+
+// CacheHits returns how many runs were satisfied by the persistent cache.
+func (r *Runner) CacheHits() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cacheHits
 }
 
 // CacheErr returns the first error encountered writing the persistent
@@ -154,11 +168,24 @@ func (r *Runner) Run(cfg config.Config) (sim.Result, error) {
 	r.mu.Unlock()
 
 	fromCache := false
+	release := func() {}
 	if r.cache != nil && Cacheable(cfg) {
 		// Validate before consulting the cache: a bad config must fail
 		// loudly even if a stale entry happens to exist under its hash.
 		if c.err = cfg.Validate(); c.err == nil {
 			c.res, fromCache = r.cache.Get(h)
+			if !fromCache {
+				// Claim the key so sibling processes sharing this cache
+				// directory wait for our entry instead of duplicating
+				// the run. If someone else already holds the claim,
+				// wait for their entry; if they die or fail, the claim
+				// goes away and we compute after all.
+				if rel, ok := r.cache.TryClaim(h); ok {
+					release = rel
+				} else if res, ok := r.cache.WaitForClaim(h); ok {
+					c.res, fromCache = res, true
+				}
+			}
 		}
 	}
 	if !fromCache && c.err == nil {
@@ -171,8 +198,12 @@ func (r *Runner) Run(cfg config.Config) (sim.Result, error) {
 	} else {
 		r.results[h] = c.res
 	}
-	if !fromCache && c.err == nil {
-		r.simRuns++
+	if c.err == nil {
+		if fromCache {
+			r.cacheHits++
+		} else {
+			r.simRuns++
+		}
 	}
 	r.mu.Unlock()
 	if !fromCache && c.err == nil && r.cache != nil && Cacheable(cfg) {
@@ -184,6 +215,9 @@ func (r *Runner) Run(cfg config.Config) (sim.Result, error) {
 			r.mu.Unlock()
 		}
 	}
+	// Release only after the Put: a waiter woken by the release must
+	// find the entry, not a miss that sends it off to re-simulate.
+	release()
 	r.mu.Lock()
 	delete(r.inflight, h)
 	r.mu.Unlock()
@@ -191,10 +225,21 @@ func (r *Runner) Run(cfg config.Config) (sim.Result, error) {
 	return c.res, c.err
 }
 
-// Ensure computes every missing config, bounded-parallel across runs,
-// and returns the first error in the order given. Duplicates are
-// launched once: a joiner blocked on the singleflight would otherwise
-// hold a worker slot for the whole in-flight simulation.
+// Ensure computes every missing config through a bounded worker pool and
+// returns the first error in the order given. Duplicates are launched
+// once: a joiner blocked on the singleflight would otherwise hold a
+// worker slot for the whole in-flight simulation.
+//
+// The pool dispatches the distinct configs strictly in order, so the
+// error Ensure reports is deterministic at every worker count: when a
+// run fails, dispatch stops (in-flight siblings drain, and at most one
+// already-offered index — necessarily above the failing one — still
+// starts), and in-order dispatch guarantees every config before the
+// lowest failing index has already run to completion — making
+// "lowest-index recorded error" independent of goroutine scheduling.
+// Results are equally order-independent: runs commit into the
+// hash-keyed memo and the table/sweep renderers read them back in spec
+// order, so parallel output is bit-identical to sequential.
 func (r *Runner) Ensure(cfgs []config.Config) error {
 	hashes := make([]string, len(cfgs))
 	var distinct []config.Config
@@ -206,18 +251,94 @@ func (r *Runner) Ensure(cfgs []config.Config) error {
 			distinct = append(distinct, cfg)
 		}
 	}
-	sem := make(chan struct{}, r.workers)
+
+	var (
+		stop     = make(chan struct{}) // closed on the first failure
+		stopOnce sync.Once
+		cancel   = func() { stopOnce.Do(func() { close(stop) }) }
+
+		progMu sync.Mutex // serializes progress events
+		done   int
+		start  = time.Now()
+	)
+	// In-order dispatch: an unbuffered channel hands out index i only
+	// after every j < i was handed out (the determinism proof above
+	// leans on this).
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for i := range distinct {
+			// Check stop before offering: with a worker already blocked
+			// on idxCh both select cases would be ready and Go picks
+			// randomly, which would keep dealing work after a failure.
+			// If stop closes during the send itself, at most this one
+			// index slips through (the next iteration's check returns).
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			select {
+			case idxCh <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	workers := r.workers
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
 	var wg sync.WaitGroup
-	for _, cfg := range distinct {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(cfg config.Config) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r.Run(cfg)
-		}(cfg)
+			for i := range idxCh {
+				// Every received index runs, even one that slipped
+				// through the dispatcher's send in the same instant a
+				// failure cancelled the pass: in-order dispatch means
+				// such a straggler is strictly above the failing index,
+				// so running it costs at most one extra run — while
+				// skipping it here could skip an index received BEFORE
+				// the failure and break the lowest-failing-index proof.
+				if _, err := r.Run(distinct[i]); err != nil {
+					cancel()
+				}
+				if r.progress != nil {
+					r.mu.Lock()
+					p := Progress{Total: len(distinct), Simulated: r.simRuns, CacheHits: r.cacheHits}
+					r.mu.Unlock()
+					progMu.Lock()
+					done++
+					p.Done = done
+					p.Elapsed = time.Since(start)
+					r.progress(p)
+					progMu.Unlock()
+				}
+			}
+		}()
 	}
 	wg.Wait()
+	cancel() // unblock the dispatcher if it is still offering work
+
+	// An aborted pass (failure before every run completed) gets one
+	// terminating event so a live renderer can finalize its output
+	// before the error is reported.
+	if r.progress != nil {
+		progMu.Lock()
+		if done < len(distinct) {
+			r.mu.Lock()
+			p := Progress{Done: done, Total: len(distinct), Simulated: r.simRuns, CacheHits: r.cacheHits}
+			r.mu.Unlock()
+			p.Elapsed = time.Since(start)
+			p.Final = true
+			r.progress(p)
+		}
+		progMu.Unlock()
+	}
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i, h := range hashes {

@@ -149,16 +149,22 @@ func (s SweepSpec) pointLabel(idx []int) string {
 }
 
 // RunSweep evaluates the spec: resolve the base config, enumerate the
-// cartesian product, compute every point (bounded-parallel, consulting
-// the persistent cache when one is attached), and render one row per
-// point with the requested metric columns. Runs with no sample for a
-// metric render "-".
-func RunSweep(spec SweepSpec, workers int, cache *rescache.Cache) (*stats.Table, *Runner, error) {
+// cartesian product, compute every point (bounded-parallel over workers
+// simulations, consulting the persistent cache when one is attached),
+// and render one row per point with the requested metric columns. Rows
+// commit in cartesian order regardless of which worker finished first,
+// so the rendered table — text, CSV, or JSON — is byte-identical at
+// every worker count. Runs with no sample for a metric render "-".
+// An optional progress observer receives per-run completion events.
+func RunSweep(spec SweepSpec, workers int, cache *rescache.Cache, progress ...ProgressFunc) (*stats.Table, *Runner, error) {
 	// LoadSweep validates too, but specs can also be built in Go and
 	// handed straight here; a structural error must not surface as a
 	// panic after the simulations already ran.
 	if err := spec.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("exp: sweep %s: %w", spec.Name, err)
+	}
+	if err := ValidateWorkers(workers); err != nil {
+		return nil, nil, err
 	}
 	base, err := config.ParsePreset(spec.Scale)
 	if err != nil {
@@ -189,6 +195,9 @@ func RunSweep(spec SweepSpec, workers int, cache *rescache.Cache) (*stats.Table,
 	r := NewRunner(base, nil, workers)
 	if cache != nil {
 		r.SetCache(cache)
+	}
+	for _, p := range progress {
+		r.SetProgress(p)
 	}
 	if err := r.Ensure(cfgs); err != nil {
 		return nil, nil, err

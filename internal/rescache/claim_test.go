@@ -1,0 +1,206 @@
+package rescache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dcasim/internal/config"
+)
+
+// TestClaimExclusive: only one claimant wins; release frees the key.
+func TestClaimExclusive(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := config.Test().Hash()
+	release, ok := c.TryClaim(key)
+	if !ok {
+		t.Fatal("first TryClaim lost on an empty cache")
+	}
+	if _, ok := c.TryClaim(key); ok {
+		t.Fatal("second TryClaim won while the first claim was held")
+	}
+	if !c.ClaimHeld(key) {
+		t.Fatal("ClaimHeld false while claimed")
+	}
+	release()
+	if c.ClaimHeld(key) {
+		t.Fatal("ClaimHeld true after release")
+	}
+	if _, ok := c.TryClaim(key); !ok {
+		t.Fatal("TryClaim lost after the previous claim was released")
+	}
+}
+
+// TestStaleClaimBroken: a claim file older than the staleness window
+// belongs to a dead process and must not block a new claimant.
+func TestStaleClaimBroken(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := config.Test().Hash()
+	path := c.claimPath(key)
+	if err := os.WriteFile(path, []byte("pid 999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-claimStale - time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if c.ClaimHeld(key) {
+		t.Fatal("stale claim reported as held")
+	}
+	release, ok := c.TryClaim(key)
+	if !ok {
+		t.Fatal("TryClaim failed to break a stale claim")
+	}
+	release()
+}
+
+// TestWaitForClaim: a loser blocked on the winner's claim observes the
+// entry as soon as the winner Puts and releases.
+func TestWaitForClaim(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.pollEvery = time.Millisecond
+	key := config.Test().Hash()
+	want := sampleResult()
+
+	release, ok := c.TryClaim(key)
+	if !ok {
+		t.Fatal("TryClaim lost on an empty cache")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond)
+		if err := c.Put(key, want); err != nil {
+			t.Error(err)
+		}
+		release()
+	}()
+	got, ok := c.WaitForClaim(key)
+	wg.Wait()
+	if !ok {
+		t.Fatal("WaitForClaim returned a miss although the claimant published an entry")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WaitForClaim returned %+v, want %+v", got, want)
+	}
+}
+
+// TestWaitForClaimReleasedWithoutEntry: the claimant failing (release
+// without Put) must hand the computation to the waiter, not hang it.
+func TestWaitForClaimReleasedWithoutEntry(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.pollEvery = time.Millisecond
+	key := config.Test().Hash()
+	release, ok := c.TryClaim(key)
+	if !ok {
+		t.Fatal("TryClaim lost on an empty cache")
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		release()
+	}()
+	if _, ok := c.WaitForClaim(key); ok {
+		t.Fatal("WaitForClaim reported a hit although no entry was ever written")
+	}
+}
+
+// TestOpenCleansStaleTempAndClaims: a temp file or claim left by a
+// killed process must be swept on open — not accumulate forever — while
+// fresh files (a live writer or claimant) and real entries survive.
+func TestOpenCleansStaleTempAndClaims(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := config.Test().Hash()
+	if err := c.Put(key, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+
+	old := time.Now().Add(-2 * time.Hour)
+	mk := func(name string, stale bool) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if stale {
+			if err := os.Chtimes(p, old, old); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+	staleTmp := mk(key+".tmp123456", true)
+	freshTmp := mk(key+".tmp654321", false)
+	staleClaim := mk(key+".claim", true)
+	unrelated := mk("README.txt", true) // unrecognized names are never touched
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{staleTmp, staleClaim} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s survived Open, want it swept", filepath.Base(p))
+		}
+	}
+	for _, p := range []string{freshTmp, unrelated, c.Path(key)} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s was swept by Open, want it kept: %v", filepath.Base(p), err)
+		}
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("entry unreadable after cleanup")
+	}
+}
+
+// TestConcurrentPutsSameKey: hammering one key from many goroutines must
+// leave a readable, checksum-valid entry (per-key locking plus atomic
+// rename).
+func TestConcurrentPutsSameKey(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := config.Test().Hash()
+	want := sampleResult()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if err := c.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("entry unreadable after concurrent Puts")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("concurrent Puts corrupted the entry: got %+v", got)
+	}
+}

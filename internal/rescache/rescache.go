@@ -12,6 +12,15 @@
 // a file from an older schema) reads as a miss and is recomputed and
 // overwritten, never trusted. Writes go through a temp file and rename,
 // so concurrent processes sharing a directory see whole entries or none.
+//
+// Concurrency: within a process, writes to the same key serialize on a
+// per-key lock. Across processes, <dir>/<key>.claim files coordinate who
+// computes a missing entry: TryClaim takes the claim with an exclusive
+// create, losers can WaitForClaim until the winner's entry lands (or the
+// claim goes stale because its owner died). Claims are purely advisory —
+// duplicated computation is wasted work, never wrong results, because
+// entry writes stay atomic either way. Open sweeps out temp and claim
+// files abandoned by killed processes so they cannot pin a key forever.
 package rescache
 
 import (
@@ -22,14 +31,32 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
+	"time"
 
 	"dcasim/internal/config"
 	"dcasim/internal/sim"
 )
 
+// claimStale is how old a claim file may grow before any process may
+// break it: a claimant that has not produced its entry within this
+// window is presumed dead. Generous compared to a single run (seconds
+// to minutes) so a live claimant is never raced.
+const claimStale = 10 * time.Minute
+
+// staleTempAge is how old an orphaned temp file must be before Open
+// deletes it. Fresh temp files belong to live writers mid-Put and must
+// survive; anything this old was abandoned by a killed process.
+const staleTempAge = time.Hour
+
 // Cache is a directory of content-addressed simulation results.
 type Cache struct {
-	dir string
+	dir       string
+	pollEvery time.Duration // WaitForClaim poll interval (tests shrink it)
+
+	mu   sync.Mutex
+	keys map[string]*sync.Mutex // per-key write locks
 }
 
 // entry is the on-disk envelope around one result.
@@ -41,11 +68,48 @@ type entry struct {
 }
 
 // Open returns a cache rooted at dir, creating the directory if needed.
+// It also removes temp and claim files left behind by killed processes:
+// a partially-written <key>.tmp* never becomes visible (writes are
+// rename-atomic) but used to sit in the directory forever, and a stale
+// <key>.claim would make other processes wait out the staleness window
+// for an owner that no longer exists.
 func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("rescache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir, pollEvery: 50 * time.Millisecond, keys: make(map[string]*sync.Mutex)}
+	c.cleanStale()
+	return c, nil
+}
+
+// cleanStale removes abandoned temp files and expired claim files. Best
+// effort: a cleanup failure never fails Open — the worst case is the
+// status quo ante (a little garbage in the directory).
+func (c *Cache) cleanStale() {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	for _, e := range entries {
+		name := e.Name()
+		var maxAge time.Duration
+		switch {
+		case strings.Contains(name, ".tmp"):
+			maxAge = staleTempAge
+		case strings.HasSuffix(name, ".claim"):
+			maxAge = claimStale
+		default:
+			continue // entry files and anything unrecognized are left alone
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if now.Sub(info.ModTime()) > maxAge {
+			os.Remove(filepath.Join(c.dir, name))
+		}
+	}
 }
 
 // Dir returns the cache directory.
@@ -55,6 +119,23 @@ func (c *Cache) Dir() string { return c.dir }
 // exists yet).
 func (c *Cache) Path(key string) string {
 	return filepath.Join(c.dir, key+".json")
+}
+
+// claimPath returns the claim file guarding key's computation.
+func (c *Cache) claimPath(key string) string {
+	return filepath.Join(c.dir, key+".claim")
+}
+
+// keyLock returns the per-key mutex, creating it on first use.
+func (c *Cache) keyLock(key string) *sync.Mutex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.keys[key]
+	if m == nil {
+		m = &sync.Mutex{}
+		c.keys[key] = m
+	}
+	return m
 }
 
 // validKey reports whether key is a hex digest — the only file names the
@@ -108,10 +189,15 @@ func (c *Cache) Get(key string) (res sim.Result, ok bool) {
 }
 
 // Put stores a result under key, atomically replacing any existing entry.
+// Concurrent in-process writers to the same key serialize; concurrent
+// processes are already safe through the temp-file-and-rename protocol.
 func (c *Cache) Put(key string, res sim.Result) error {
 	if !validKey(key) {
 		return fmt.Errorf("rescache: invalid key %q", key)
 	}
+	lock := c.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
 	payload, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("rescache: encode result: %w", err)
@@ -144,4 +230,72 @@ func (c *Cache) Put(key string, res sim.Result) error {
 		return fmt.Errorf("rescache: %w", err)
 	}
 	return nil
+}
+
+// TryClaim attempts to mark key as "being computed by this process" so
+// sibling processes sharing the directory can wait instead of
+// duplicating the run. ok reports whether the claim was taken; release
+// must be called exactly once (after the entry is Put, so waiters wake
+// to a hit) and is never nil. A claim whose file has outlived
+// claimStale is presumed orphaned and broken.
+//
+// Claims are advisory: on any unexpected filesystem error the caller is
+// told to proceed (ok=true with a no-op release) — duplicate computation
+// is wasted work, not a correctness hazard.
+func (c *Cache) TryClaim(key string) (release func(), ok bool) {
+	noop := func() {}
+	if !validKey(key) {
+		return noop, true
+	}
+	path := c.claimPath(key)
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "pid %d\n", os.Getpid())
+			f.Close()
+			return func() { os.Remove(path) }, true
+		}
+		if !os.IsExist(err) {
+			return noop, true // advisory: proceed without a claim
+		}
+		info, serr := os.Stat(path)
+		if serr != nil {
+			continue // claim vanished between create and stat: retry
+		}
+		if time.Since(info.ModTime()) <= claimStale {
+			return noop, false // live claimant
+		}
+		// Stale claim from a dead process: break it and retry the
+		// exclusive create (a racing breaker may win; we then observe a
+		// fresh claim on the next attempt and report it as held).
+		os.Remove(path)
+	}
+	return noop, false
+}
+
+// ClaimHeld reports whether a live (non-stale) claim for key exists.
+func (c *Cache) ClaimHeld(key string) bool {
+	info, err := os.Stat(c.claimPath(key))
+	return err == nil && time.Since(info.ModTime()) <= claimStale
+}
+
+// WaitForClaim blocks while another process holds a live claim on key,
+// polling for its entry to land. It returns the result as soon as one is
+// readable; ok is false once the claim is gone (released or stale)
+// without an entry appearing — the caller should then compute the run
+// itself. A caller that never claimed and never saw a claim gets an
+// immediate miss.
+func (c *Cache) WaitForClaim(key string) (sim.Result, bool) {
+	for {
+		if res, ok := c.Get(key); ok {
+			return res, true
+		}
+		if !c.ClaimHeld(key) {
+			// The claimant may have Put and released between our miss
+			// and this check; one last look stops the caller from
+			// re-simulating an entry that just landed.
+			return c.Get(key)
+		}
+		time.Sleep(c.pollEvery)
+	}
 }

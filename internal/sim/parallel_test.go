@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dcasim/internal/config"
+	"dcasim/internal/core"
+)
+
+// TestConcurrentRunsAreIsolated is the shared-mutable-state audit behind
+// the parallel experiment engine: Run must be a pure function with no
+// state escaping between concurrent invocations. Eight goroutines run
+// the same config at once — under -race (the CI race job runs this
+// package) any shared RNG, event-pool, or statistics state would trip
+// the detector, and any nondeterminism would break the DeepEqual.
+func TestConcurrentRunsAreIsolated(t *testing.T) {
+	cfg := config.Test()
+	cfg.Benchmarks = []string{"mcf", "lbm", "libquantum", "omnetpp"}
+	cfg.Design = core.DCA
+
+	const n = 8
+	results := make([]Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("concurrent run %d diverged from run 0:\n%+v\nvs\n%+v", i, results[i], results[0])
+		}
+	}
+}
+
+// TestConcurrentDistinctRunsAreIsolated interleaves different designs
+// and seeds concurrently and checks each against its own sequential
+// baseline: cross-run contamination would show up as a mismatch against
+// the isolated reference result.
+func TestConcurrentDistinctRunsAreIsolated(t *testing.T) {
+	var cfgs []config.Config
+	for _, d := range []core.Design{core.CD, core.ROD, core.DCA} {
+		cfg := config.Test()
+		cfg.Benchmarks = []string{"mcf", "lbm", "libquantum", "omnetpp"}
+		cfg.Design = d
+		cfg.Seed = 7 + uint64(d)
+		cfgs = append(cfgs, cfg)
+	}
+	want := make([]Result, len(cfgs))
+	for i, cfg := range cfgs {
+		var err error
+		if want[i], err = Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg config.Config) {
+			defer wg.Done()
+			got[i], errs[i] = Run(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for i := range cfgs {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("concurrent run %d diverged from its sequential baseline", i)
+		}
+	}
+}
