@@ -11,12 +11,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"dcasim/internal/benchfmt"
 )
 
 func main() {
-	rep, err := benchfmt.Parse(os.Stdin)
+	rep, err := benchfmt.Parse(os.Stdin, time.Now())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

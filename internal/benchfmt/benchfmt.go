@@ -36,12 +36,17 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// Parse converts `go test -bench` text output into a Report stamped with
-// the current time and machine shape. Unparseable lines are skipped —
-// test chatter interleaves freely with benchmark results.
-func Parse(r io.Reader) (Report, error) {
+// Parse converts `go test -bench` text output into a Report stamped
+// with the given recording time and the machine shape. The timestamp
+// is caller-injected — this package never reads the wall clock — so
+// parsing is a pure function of its inputs and two invocations over
+// the same text with the same stamp produce byte-identical reports
+// (cmd/benchjson passes time.Now; tests pass a fixed instant).
+// Unparseable lines are skipped — test chatter interleaves freely
+// with benchmark results.
+func Parse(r io.Reader, stamp time.Time) (Report, error) {
 	rep := Report{
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Timestamp: stamp.UTC().Format(time.RFC3339),
 		CPUs:      runtime.NumCPU(),
 	}
 	sc := bufio.NewScanner(r)

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sampleBenchOutput = `goos: linux
@@ -19,10 +20,17 @@ some interleaved test chatter
 PASS
 `
 
+// fixedStamp is the injected recording time: Parse never reads the
+// wall clock, so the same input and stamp must yield the same report.
+var fixedStamp = time.Date(2026, 7, 29, 0, 0, 0, 0, time.UTC)
+
 func TestParse(t *testing.T) {
-	rep, err := Parse(strings.NewReader(sampleBenchOutput))
+	rep, err := Parse(strings.NewReader(sampleBenchOutput), fixedStamp)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.Timestamp != "2026-07-29T00:00:00Z" {
+		t.Fatalf("timestamp not the injected instant: %q", rep.Timestamp)
 	}
 	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
 		t.Fatalf("machine fields not parsed: %+v", rep)
@@ -159,7 +167,7 @@ func TestCompareAcrossCoreCounts(t *testing.T) {
 }
 
 func TestLoadRoundTrip(t *testing.T) {
-	rep, err := Parse(strings.NewReader(sampleBenchOutput))
+	rep, err := Parse(strings.NewReader(sampleBenchOutput), fixedStamp)
 	if err != nil {
 		t.Fatal(err)
 	}

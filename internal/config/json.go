@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // SchemaVersion identifies the serialized Config layout. It is folded
@@ -184,9 +185,17 @@ func (c Config) applyPatchMap(pm map[string]interface{}) (Config, error) {
 }
 
 // mergeJSON merges src into dst recursively: object-into-object merges
-// per key, anything else replaces the destination value.
+// per key, anything else replaces the destination value. Keys are
+// visited in sorted order so the merge — and anything derived from a
+// traversal of it — is deterministic regardless of map iteration order.
 func mergeJSON(dst, src map[string]interface{}) {
-	for k, sv := range src {
+	keys := make([]string, 0, len(src))
+	for k := range src {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sv := src[k]
 		if sm, ok := sv.(map[string]interface{}); ok {
 			if dm, ok := dst[k].(map[string]interface{}); ok {
 				mergeJSON(dm, sm)

@@ -479,8 +479,10 @@ func (c *Controller) routesToWriteQueue(kind dram.Kind, reqType RequestType) boo
 			return kind.IsWrite()
 		}
 		return true
-	default: // CD and DCA classify by access type.
+	case CD, DCA: // classify by access type.
 		return kind.IsWrite()
+	default:
+		panic(fmt.Sprintf("core: routesToWriteQueue: unknown design %d", int(c.cfg.Design)))
 	}
 }
 

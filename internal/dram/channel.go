@@ -146,6 +146,8 @@ func (c *Channel) Issue(a *Access, now simtime.Time) simtime.Time {
 
 	// Row preparation on the critical path.
 	switch state {
+	case RowHit:
+		// Row already open: no preparation, straight to the column access.
 	case RowConflict:
 		pre := simtime.Max(cmd, b.preOK)
 		cmd = pre + t.TRP

@@ -118,6 +118,8 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // Schedule queues h to fire at absolute time t with payload p.
 // Scheduling in the past is a programming error and panics: silently
 // reordering time would corrupt every downstream model.
+//
+//dcalint:noalloc
 func (e *Engine) Schedule(t simtime.Time, h Handler, p Payload) {
 	if t < e.now {
 		panic(fmt.Sprintf("event: schedule at %v before now %v", t, e.now))
@@ -129,12 +131,16 @@ func (e *Engine) Schedule(t simtime.Time, h Handler, p Payload) {
 }
 
 // ScheduleAfter queues h to fire d after the current time.
+//
+//dcalint:noalloc
 func (e *Engine) ScheduleAfter(d simtime.Time, h Handler, p Payload) {
 	e.Schedule(e.now+d, h, p)
 }
 
 // CallAt queues cb to fire at absolute time t. A zero callback is
 // dropped rather than queued.
+//
+//dcalint:noalloc
 func (e *Engine) CallAt(t simtime.Time, cb Callback) {
 	if cb.H == nil {
 		return
@@ -143,6 +149,8 @@ func (e *Engine) CallAt(t simtime.Time, cb Callback) {
 }
 
 // CallAfter queues cb to fire d after the current time.
+//
+//dcalint:noalloc
 func (e *Engine) CallAfter(d simtime.Time, cb Callback) { e.CallAt(e.now+d, cb) }
 
 // At schedules fn to run at absolute time t. This is the closure
@@ -157,6 +165,8 @@ func (e *Engine) After(d simtime.Time, fn func()) { e.At(e.now+d, fn) }
 
 // Step executes the earliest pending event. It reports whether an event
 // was executed.
+//
+//dcalint:noalloc
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
@@ -174,6 +184,8 @@ func (e *Engine) Step() bool {
 }
 
 // Run executes events until the queue is empty.
+//
+//dcalint:noalloc
 func (e *Engine) Run() {
 	for e.Step() {
 	}
@@ -181,6 +193,8 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= t and then advances the
 // clock to t. Events scheduled beyond t stay queued.
+//
+//dcalint:noalloc
 func (e *Engine) RunUntil(t simtime.Time) {
 	for len(e.heap) > 0 && e.pool[e.heap[0]].at <= t {
 		e.Step()
@@ -191,10 +205,14 @@ func (e *Engine) RunUntil(t simtime.Time) {
 }
 
 // RunFor is RunUntil relative to the current time.
+//
+//dcalint:noalloc
 func (e *Engine) RunFor(d simtime.Time) { e.RunUntil(e.now + d) }
 
 // alloc returns a free pool index, growing the pool only when the free
 // list is empty (i.e. at a new high-water mark of pending events).
+//
+//dcalint:noalloc
 func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
 		idx := e.free[n-1]
@@ -207,6 +225,8 @@ func (e *Engine) alloc() int32 {
 
 // less orders pool records by (time, sequence): strict total order, so
 // heap pop order is independent of the heap's internal layout.
+//
+//dcalint:noalloc
 func (e *Engine) less(a, b int32) bool {
 	na, nb := &e.pool[a], &e.pool[b]
 	if na.at != nb.at {
@@ -220,6 +240,7 @@ func (e *Engine) less(a, b int32) bool {
 // fits each node's children in one cache line of int32 indices, which
 // matters because the heap is touched twice per simulated event.
 
+//dcalint:noalloc
 func (e *Engine) push(idx int32) {
 	e.heap = append(e.heap, idx)
 	i := len(e.heap) - 1
@@ -233,6 +254,7 @@ func (e *Engine) push(idx int32) {
 	}
 }
 
+//dcalint:noalloc
 func (e *Engine) pop() int32 {
 	h := e.heap
 	top := h[0]

@@ -3,6 +3,7 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"dcasim/internal/config"
 	"dcasim/internal/stats"
@@ -199,8 +200,17 @@ func (r *Runner) Table(spec TableSpec) (*stats.Table, error) {
 			}
 		}
 	}
-	for _, cfg := range aloneOrgs {
-		need = append(need, r.aloneConfigs(cfg.Org)...)
+	// Sorted key order keeps the need list deterministic: Ensure
+	// dispatches in list order and reports the first failure in that
+	// order, so a map-ordered list would make the reported error (and
+	// the dispatch schedule) vary run to run.
+	orgNames := make([]string, 0, len(aloneOrgs))
+	for name := range aloneOrgs {
+		orgNames = append(orgNames, name)
+	}
+	sort.Strings(orgNames)
+	for _, name := range orgNames {
+		need = append(need, r.aloneConfigs(aloneOrgs[name].Org)...)
 	}
 	if err := r.Ensure(need); err != nil {
 		return nil, err

@@ -1,0 +1,84 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dcasim/internal/lint"
+	"dcasim/internal/lint/linttest"
+)
+
+// Each fixture seeds deliberate violations (pinned by `// want`
+// comments) next to the blessed pattern the analyzer must stay silent
+// on — internal/rng draws, collect-then-sort map loops, pooled
+// appends, panic defaults, unit-constant arithmetic, handled errors.
+
+func TestNoDeterminismFixture(t *testing.T) {
+	// Loaded as internal/sim: the full deterministic rule set applies.
+	linttest.Run(t, filepath.Join("testdata", "nodeterminism", "sim"), "dcasim/internal/sim", lint.NoDeterminism)
+}
+
+func TestNoDeterminismOrderSensitiveTier(t *testing.T) {
+	// Loaded as internal/exp: wall-clock reads allowed, map iteration
+	// still flagged.
+	linttest.Run(t, filepath.Join("testdata", "nodeterminism", "exp"), "dcasim/internal/exp", lint.NoDeterminism)
+}
+
+func TestNoDeterminismIgnoresUnscopedPackages(t *testing.T) {
+	// The same package body loaded OUTSIDE the scoped path lists must
+	// produce no findings at all: the sim fixture's only unsuppressed-
+	// silent lines are its want lines, so reuse the exp fixture (one
+	// want, on a map range) under a neutral path and expect silence by
+	// running with an empty want set — i.e. load it as cmd-like code.
+	pkg, err := lint.LoadDir(filepath.Join("testdata", "nodeterminism", "exp"), "dcasim/cmd/whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.NoDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("nodeterminism fired outside its package scope: %v", diags)
+	}
+}
+
+func TestNoAllocFixture(t *testing.T) {
+	// noalloc scopes by annotation, not package path.
+	linttest.Run(t, filepath.Join("testdata", "noalloc", "kernel"), "dcasim/internal/kernelfixture", lint.NoAlloc)
+}
+
+func TestExhaustiveFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "exhaustive", "policy"), "dcasim/internal/policyfixture", lint.Exhaustive)
+}
+
+func TestSimTimeFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "simtime", "model"), "dcasim/internal/modelfixture", lint.SimTime)
+}
+
+func TestClaimErrFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "claimerr", "user"), "dcasim/internal/userfixture", lint.ClaimErr)
+}
+
+func TestRegistry(t *testing.T) {
+	all := lint.All()
+	if len(all) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incompletely declared", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if lint.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName of unknown name should be nil")
+	}
+}

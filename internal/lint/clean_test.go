@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dcasim/internal/lint"
+)
+
+// TestTreeIsClean is the integration gate behind `make lint`: the full
+// dcalint suite over every package of the module must report nothing.
+// Equivalent to `dcalint ./...` exiting 0 from the repo root — this is
+// the machine-checked form of the repo's determinism / zero-alloc /
+// exhaustiveness invariants, so a finding here is a real regression
+// (or a new blessed pattern that needs a justified nolint).
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	pkgs, err := lint.LoadPackages("..", "dcasim/...")
+	if err != nil {
+		t.Fatalf("load module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern dcasim/... no longer covers the tree?", len(pkgs))
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,99 @@
+// Package linttest is dcalint's analysistest equivalent: it runs one
+// analyzer over a fixture package and checks its diagnostics against
+// "// want" comments in the fixture source.
+//
+// A fixture directory holds ordinary Go files. A line expecting a
+// diagnostic carries a trailing comment
+//
+//	x := bad()	// want `regexp matching the message`
+//
+// (multiple `...` segments for multiple findings on the line). The run
+// fails on any diagnostic without a matching want, and on any want
+// without a matching diagnostic — fixtures therefore pin both the
+// positives (seeded violations fire) and the negatives (blessed
+// patterns stay silent).
+//
+// Fixtures are loaded with a caller-chosen import path, because several
+// analyzers scope themselves by package path ("is this a deterministic
+// package?"): a fixture loaded as "dcasim/internal/sim" is linted under
+// internal/sim's rules no matter where it lives on disk.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dcasim/internal/lint"
+)
+
+// wantRe extracts the backquoted patterns of a want comment.
+var wantRe = regexp.MustCompile("// want (`[^`]*`(?: `[^`]*`)*)")
+
+// Run loads dir as a package with the given import path, applies the
+// analyzer, and reports mismatches between produced diagnostics and
+// the fixture's want comments on t.
+func Run(t *testing.T, dir, importPath string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey(pos)
+				for _, q := range strings.Split(m[1], "` `") {
+					q = strings.Trim(q, "`")
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, q, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := posKey(d.Pos)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed, type-checked lint target.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// LoadPackages resolves patterns with `go list` (run in dir) and
+// type-checks each resulting package. Only GoFiles are linted: test
+// files are exercised by `go test` itself and are free to use time,
+// goroutines, and allocation as they please.
+//
+// Imports — including the module's own packages — are type-checked
+// from source by the standard library's source importer, which is
+// module-aware (it defers to the go command for import resolution), so
+// the loader works with zero dependencies outside the Go distribution.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	var listed []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s", lp.Error.Err)
+		}
+		if len(lp.GoFiles) > 0 {
+			listed = append(listed, lp)
+		}
+	}
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := typecheck(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every .go file in one directory as a
+// single package with the given (possibly synthetic) import path. The
+// fixture runner uses it to present testdata packages to analyzers as
+// if they lived at a real path ("dcasim/internal/sim"), which is how
+// path-scoped analyzers are exercised.
+func LoadDir(dir, importPath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s: %v", dir, err)
+	}
+	sort.Strings(matches)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return typecheck(fset, imp, importPath, matches)
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, importPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
+	}
+	return &Package{PkgPath: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

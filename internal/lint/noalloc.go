@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc enforces the zero-allocation contract of functions annotated
+// with a "//dcalint:noalloc" doc-comment directive (the event kernel's
+// hot path and any other path that must stay allocation-free in steady
+// state).
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: `forbid allocation sources in //dcalint:noalloc functions
+
+Inside an annotated function: no closure captures (a func literal
+referencing outer variables allocates its environment), no interface
+boxing of non-pointer-shaped values (storing an int or struct in an
+interface allocates; pointers, maps, chans, funcs, and zero-size
+structs do not), no make/new, no string concatenation, and append only
+in the pooled form "x.field = append(x.field, ...)" whose backing
+array amortizes to a high-water mark. The runtime zero-alloc tests
+catch regressions after the fact; this analyzer names the exact
+expression that would allocate.`,
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, "noalloc") {
+				continue
+			}
+			checkNoAllocFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkNoAllocFunc(pass *Pass, fn *ast.FuncDecl) {
+	pooled := pooledAppends(pass, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedVar(pass, fn, n); capt != "" {
+				pass.Reportf(n.Pos(), "closure captures %q: the environment allocates per call; pass context through an event Payload instead", capt)
+			}
+			return false // the literal runs later, under its own rules
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, n, pooled)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypesInfo.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "string concatenation allocates; format off the hot path or use a pooled buffer")
+			}
+		case *ast.CompositeLit:
+			checkBoxedFields(pass, n)
+		case *ast.AssignStmt:
+			checkBoxedAssign(pass, n)
+		}
+		return true
+	})
+}
+
+// checkNoAllocCall flags make/new and non-pooled append.
+func checkNoAllocCall(pass *Pass, call *ast.CallExpr, pooled map[*ast.CallExpr]bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || obj == nil {
+		return
+	}
+	switch id.Name {
+	case "make", "new":
+		pass.Reportf(call.Pos(), "%s allocates; preallocate in setup and reuse via the pool/free list", id.Name)
+	case "append":
+		if !pooled[call] {
+			pass.Reportf(call.Pos(), "append outside the pooled x.field = append(x.field, ...) form can allocate per call; grow only persistent struct-field slices")
+		}
+	}
+}
+
+// pooledAppends collects the append calls appearing as
+// x.f = append(x.f, ...) where x.f is a struct-field selector: the
+// backing array then persists across calls and growth amortizes to
+// the high-water mark, which is the kernel's pooling idiom.
+func pooledAppends(pass *Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	pooled := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Tok != token.ASSIGN {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		dst, ok := call.Args[0].(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel := pass.TypesInfo.Selections[dst]; sel == nil || sel.Kind() != types.FieldVal {
+			return true
+		}
+		lhs, ok := asg.Lhs[0].(*ast.SelectorExpr)
+		if ok && types.ExprString(lhs) == types.ExprString(dst) {
+			pooled[call] = true
+		}
+		return true
+	})
+	return pooled
+}
+
+// checkBoxedFields flags composite-literal fields of interface type
+// initialized with a value whose concrete type boxes (allocates).
+func checkBoxedFields(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if fld.Name() != key.Name {
+				continue
+			}
+			reportIfBoxes(pass, kv.Value, fld.Type())
+		}
+	}
+}
+
+// checkBoxedAssign flags assignments that box a non-pointer-shaped
+// value into an interface-typed destination.
+func checkBoxedAssign(pass *Pass, asg *ast.AssignStmt) {
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i, lhs := range asg.Lhs {
+		lt := pass.TypesInfo.TypeOf(lhs)
+		if lt == nil {
+			continue
+		}
+		reportIfBoxes(pass, asg.Rhs[i], lt)
+	}
+}
+
+// reportIfBoxes reports expr if assigning it to a destination of type
+// dst would box an allocation-requiring value into an interface.
+func reportIfBoxes(pass *Pass, expr ast.Expr, dst types.Type) {
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	src := pass.TypesInfo.TypeOf(expr)
+	if src == nil || boxesWithoutAlloc(src) {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.IsNil() {
+		return
+	}
+	pass.Reportf(expr.Pos(), "storing %s in an interface allocates (non-pointer-shaped value); box a pointer, func, or zero-size struct instead", src)
+}
+
+// boxesWithoutAlloc reports whether a value of type t can be stored in
+// an interface without heap allocation: pointer-shaped values reuse
+// the pointer word, zero-size values share the runtime's zerobase.
+func boxesWithoutAlloc(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	case *types.Struct:
+		return u.NumFields() == 0
+	case *types.Array:
+		return u.Len() == 0
+	}
+	return false
+}
+
+// capturedVar returns the name of a variable the func literal captures
+// from its enclosing function, or "" if it captures nothing.
+func capturedVar(pass *Pass, enclosing *ast.FuncDecl, lit *ast.FuncLit) string {
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal itself.
+		if obj.Pos() >= enclosing.Pos() && obj.Pos() < enclosing.End() &&
+			(obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			captured = id.Name
+		}
+		return true
+	})
+	return captured
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,23 @@
+package lint
+
+// All returns every analyzer in the dcalint suite, in the order they
+// are documented.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		NoAlloc,
+		Exhaustive,
+		SimTime,
+		ClaimErr,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

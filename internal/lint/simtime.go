@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SimTime polices the picosecond time base. simtime.Time is an int64 of
+// picoseconds; time.Duration is an int64 of nanoseconds. Go converts
+// between them (and absorbs untyped literals) without complaint, which
+// turns "t + 100" — is that 100 ps? the author probably meant ns — and
+// simtime.Time(time.Millisecond) — a 1000× unit error — into silent
+// timing bugs that only show up as wrong latencies in a golden table.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc: `forbid raw literals and time.Duration mixing in simtime arithmetic
+
+Additive arithmetic (+, -) and comparisons against a simtime.Time must
+use the named unit constants (simtime.Nanosecond, ...) or values
+derived from them, never bare numeric literals (0 is allowed: zero is
+zero in every unit). Conversions between time.Duration and
+simtime.Time in either direction are flagged unconditionally — the
+two types differ by a factor of 1000 and a correct conversion must go
+through simtime.FromNS or an explicit unit product.`,
+	Run: runSimTime,
+}
+
+func runSimTime(pass *Pass) error {
+	// The simtime package itself defines the units and converters.
+	if pkgPathMatches(pass.Pkg.Path(), []string{"internal/simtime"}) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSimTimeBinary(pass, n)
+			case *ast.CallExpr:
+				checkSimTimeConversion(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+var additiveOrCompare = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func checkSimTimeBinary(pass *Pass, be *ast.BinaryExpr) {
+	if !additiveOrCompare[be.Op] {
+		return
+	}
+	xSim, ySim := isSimTime(pass.TypesInfo.TypeOf(be.X)), isSimTime(pass.TypesInfo.TypeOf(be.Y))
+	if !xSim && !ySim {
+		return
+	}
+	for _, operand := range []ast.Expr{be.X, be.Y} {
+		if lit := rawNonZeroLiteral(operand); lit != nil {
+			pass.Reportf(lit.Pos(), "raw literal %s in %s with simtime.Time: a bare number has no unit — write it as a product of simtime.Nanosecond/Picosecond or use simtime.FromNS", lit.Value, be.Op)
+		}
+	}
+}
+
+// checkSimTimeConversion flags type conversions between simtime.Time
+// and time.Duration.
+func checkSimTimeConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst, src := tv.Type, pass.TypesInfo.TypeOf(call.Args[0])
+	switch {
+	case isSimTime(dst) && isDuration(src):
+		pass.Reportf(call.Pos(), "converting time.Duration (nanoseconds) directly to simtime.Time (picoseconds) drops a factor of 1000; multiply by simtime.Nanosecond or use simtime.FromNS")
+	case isDuration(dst) && isSimTime(src):
+		pass.Reportf(call.Pos(), "converting simtime.Time (picoseconds) directly to time.Duration (nanoseconds) drops a factor of 1000; divide by simtime.Nanosecond first")
+	}
+}
+
+// rawNonZeroLiteral returns the integer/float literal expr denotes
+// (unwrapping unary minus and parens), or nil if expr is not a bare
+// literal or is the unit-free constant 0.
+func rawNonZeroLiteral(expr ast.Expr) *ast.BasicLit {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return rawNonZeroLiteral(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			return rawNonZeroLiteral(e.X)
+		}
+	case *ast.BasicLit:
+		if e.Kind != token.INT && e.Kind != token.FLOAT {
+			return nil
+		}
+		if strings.Trim(e.Value, "0.") == "" { // 0, 0.0, 00 — zero in any unit
+			return nil
+		}
+		return e
+	}
+	return nil
+}
+
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Time" && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/simtime")
+}
+
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Duration" && named.Obj().Pkg().Path() == "time"
+}

@@ -1,0 +1,81 @@
+// Fixture for the noalloc analyzer: only functions annotated
+// //dcalint:noalloc are constrained, and within them every allocation
+// source — closure captures, interface boxing, make/new, non-pooled
+// append, string concatenation — is named at its exact expression.
+package kernel
+
+type pool struct {
+	buf  []int
+	sink any
+}
+
+type state struct {
+	payload any
+}
+
+// grow uses the pooled form: the backing array persists in the struct
+// field and growth amortizes to the high-water mark.
+//
+//dcalint:noalloc
+func (p *pool) grow(v int) {
+	p.buf = append(p.buf, v)
+}
+
+//dcalint:noalloc
+func escape(vs []int, v int) []int {
+	vs = append(vs, v) // want `append outside the pooled`
+	return vs
+}
+
+//dcalint:noalloc
+func (p *pool) fresh() {
+	p.buf = make([]int, 8) // want `make allocates`
+}
+
+//dcalint:noalloc
+func (p *pool) boxInt(v int) {
+	p.sink = v // want `storing int in an interface allocates`
+}
+
+// boxPtr stores a pointer-shaped value: the interface reuses the
+// pointer word, no allocation.
+//
+//dcalint:noalloc
+func (p *pool) boxPtr(v *int) {
+	p.sink = v
+}
+
+//dcalint:noalloc
+func boxField(v int) state {
+	return state{payload: v} // want `storing int in an interface allocates`
+}
+
+// boxFunc passes a func value: pointer-shaped, free to box.
+//
+//dcalint:noalloc
+func boxFunc(f func()) state {
+	return state{payload: f}
+}
+
+//dcalint:noalloc
+func capture(n int) func() int {
+	return func() int { return n } // want `closure captures "n"`
+}
+
+// pure literals capture nothing: the compiler hoists them to a static
+// func value, no environment allocation.
+//
+//dcalint:noalloc
+func pureLiteral() func() int {
+	return func() int { return 42 }
+}
+
+//dcalint:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// unannotated functions are outside the contract entirely.
+func unannotated(a, b string) []byte {
+	return []byte(a + b)
+}

@@ -1,0 +1,21 @@
+// Fixture for nodeterminism's tiered scoping, loaded as
+// "dcasim/internal/exp": an order-sensitive (but not deterministic)
+// package, where wall-clock reads are fine — progress reporting needs
+// them — but unordered map iteration still is not.
+package exp
+
+import "time"
+
+// stamp is legal here: exp is outside the simulation's deterministic
+// core, and its progress reporting reads real time by design.
+func stamp() time.Time {
+	return time.Now()
+}
+
+func renderOrder(cells map[string]float64) float64 {
+	var sum float64
+	for _, v := range cells { // want `map iteration order is random`
+		sum += v
+	}
+	return sum
+}

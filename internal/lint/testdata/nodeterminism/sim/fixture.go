@@ -1,0 +1,64 @@
+// Fixture for the nodeterminism analyzer, loaded as
+// "dcasim/internal/sim": a deterministic package where wall-clock
+// reads, math/rand, goroutines, and unordered map iteration are all
+// violations, while internal/rng and the collect-then-sort idiom are
+// blessed.
+package sim
+
+import (
+	"math/rand" // want `deterministic package imports "math/rand": use internal/rng`
+	"sort"
+	"time"
+
+	"dcasim/internal/rng"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time.Now in deterministic package`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `wall-clock read time.Sleep in deterministic package`
+}
+
+func spawn(ch chan int) {
+	go send(ch) // want `goroutine spawn in deterministic package`
+}
+
+func send(ch chan int) { ch <- 1 }
+
+func globalStream() int {
+	return rand.Int() // the import line above carries the finding
+}
+
+// blessedRand draws from the repo's seeded, Go-release-stable stream.
+func blessedRand(r *rng.Rand) int {
+	return r.Intn(8)
+}
+
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is random`
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the blessed collect-then-sort idiom: the loop only
+// gathers keys and the very next statement orders them.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func suppressed() int64 {
+	return time.Now().UnixNano() //nolint:dcalint/nodeterminism -- fixture: proves a justified suppression silences the finding
+}
+
+func badSuppression() int64 {
+	return time.Now().UnixNano() //nolint:dcalint/nodeterminism // want `nolint directive needs a justification` `wall-clock read time.Now`
+}

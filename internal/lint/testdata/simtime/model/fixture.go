@@ -1,0 +1,48 @@
+// Fixture for the simtime analyzer: additive arithmetic and
+// comparisons on the picosecond time base must use named unit
+// constants, and time.Duration (nanoseconds) never converts directly
+// to or from simtime.Time (picoseconds).
+package model
+
+import (
+	"time"
+
+	"dcasim/internal/simtime"
+)
+
+func deadline(t simtime.Time) simtime.Time {
+	return t + 100 // want `raw literal 100 in \+ with simtime.Time`
+}
+
+func tooSoon(t simtime.Time) bool {
+	return t < 250 // want `raw literal 250 in < with simtime.Time`
+}
+
+// zero is zero in every unit.
+func zeroOK(t simtime.Time) bool {
+	return t != 0
+}
+
+// unitOK derives the operand from a named unit constant.
+func unitOK(t simtime.Time) simtime.Time {
+	return t + 3*simtime.Nanosecond
+}
+
+// scalarOK: multiplication and division scale a time by a count, the
+// literal is unit-free on purpose.
+func scalarOK(t simtime.Time) simtime.Time {
+	return t * 2 / 4
+}
+
+func fromDuration(d time.Duration) simtime.Time {
+	return simtime.Time(d) // want `converting time.Duration \(nanoseconds\) directly to simtime.Time`
+}
+
+func toDuration(t simtime.Time) time.Duration {
+	return time.Duration(t) // want `converting simtime.Time \(picoseconds\) directly to time.Duration`
+}
+
+// viaFromNS is the blessed conversion path.
+func viaFromNS(d time.Duration) simtime.Time {
+	return simtime.FromNS(float64(d) / float64(time.Nanosecond))
+}
