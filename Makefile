@@ -16,7 +16,12 @@
 #                     enums, simtime units, rescache/trace errors)
 #                     + golangci-lint when installed (CI always runs it)
 #   make race       - full test suite under the race detector (CI job)
-#   make fuzz-short - short fuzz pass over the trace decoder (CI job)
+#   make faults     - fault-model suite under -race: cachefs fault
+#                     injection, the rescache crash/claim protocol
+#                     tests, and the exp panic/watchdog/keep-going and
+#                     SIGKILL-recovery tests (CI job)
+#   make fuzz-short - short fuzz pass over the trace decoder and the
+#                     result-cache reader (CI job)
 #   make sweep-smoke - run the example sweep spec end to end against the
 #                      persistent result cache (CI job)
 #   make bench-short - one pass over the substrate microbenchmarks and
@@ -32,13 +37,15 @@
 #                      as BENCH_parallel.json (the parallel-engine
 #                      speedup record)
 #   make determinism - render the Fig8 smoke table at -j 1 and -j 8
-#                      under -race and require byte-identical output
-#                      (CI job)
+#                      under -race and require byte-identical output,
+#                      then require a -keep-going sweep with injected
+#                      failures to report them byte-identically at
+#                      every worker count (CI job)
 
 GO ?= go
 BENCH_OUT ?= BENCH_controller.json
 
-.PHONY: all build vet lint test race fuzz-short sweep-smoke bench-short bench-json bench-gate bench-parallel determinism ci
+.PHONY: all build vet lint test race faults fuzz-short sweep-smoke bench-short bench-json bench-gate bench-parallel determinism ci
 
 all: ci
 
@@ -66,11 +73,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the trace decoder: a malformed trace must never
-# panic the simulator. The seed corpus lives in
-# internal/trace/testdata/fuzz; CI archives the grown corpus.
+# Fault-model suite under the race detector: the cachefs injector's own
+# tests, the rescache crash/corruption/claim-liveness protocol tests
+# (including the SIGKILL kill-recovery test in internal/exp), and the
+# exp panic-isolation, watchdog, and keep-going tests. This is the
+# "nothing wedges, nothing lies" gate — see README "Failure model".
+faults:
+	$(GO) test -race -count=1 ./internal/cachefs ./internal/rescache
+	$(GO) test -race -count=1 -run 'Fault|Panic|Timeout|KeepGoing|Kill|CacheFS' ./internal/exp
+
+# Short fuzz pass over the byte-level readers: a malformed trace must
+# never panic the simulator, and an arbitrary cache entry must never be
+# trusted unless its envelope fully verifies (FuzzCacheGet re-checks
+# every accepted entry against an independent oracle). Seed corpora live
+# in internal/{trace,rescache}/testdata/fuzz; CI archives grown corpora.
 fuzz-short:
 	$(GO) test ./internal/trace -run '^$$' -fuzz 'FuzzDecoder' -fuzztime 30s
+	$(GO) test ./internal/rescache -run '^$$' -fuzz 'FuzzCacheGet' -fuzztime 30s
 
 # End-to-end sweep smoke: evaluate the example declarative spec at the
 # test scale through the persistent result cache (CI restores the cache
@@ -130,11 +149,23 @@ bench-parallel:
 
 # Parallel determinism: the Fig8 smoke table must render byte-identical
 # at -j 1 and -j 8, with the race detector watching the worker pool.
+# The second half asserts the same contract for the failure path: a
+# -keep-going sweep whose ghost-trace points fail at runtime (see
+# testdata/sweep_keepgoing.json) must report the joined failures
+# byte-identically at every worker count. The grep guard pins the
+# expected failure count, so a compile error or an accidentally-green
+# sweep cannot slip through the `|| true` that tolerates the intended
+# nonzero exit.
 determinism:
 	$(GO) run -race ./cmd/experiments -scale test -mixes 2 -only fig8 -j 1 -format text > .det-j1.txt
 	$(GO) run -race ./cmd/experiments -scale test -mixes 2 -only fig8 -j 8 -format text > .det-j8.txt
 	cmp .det-j1.txt .det-j8.txt
 	@rm -f .det-j1.txt .det-j8.txt
-	@echo "parallel determinism OK: -j 1 and -j 8 byte-identical"
+	DCASIM_CACHE= $(GO) run -race ./cmd/dcasim sweep -spec testdata/sweep_keepgoing.json -keep-going -j 1 > .det-kg-j1.txt 2>&1 || true
+	DCASIM_CACHE= $(GO) run -race ./cmd/dcasim sweep -spec testdata/sweep_keepgoing.json -keep-going -j 8 > .det-kg-j8.txt 2>&1 || true
+	cmp .det-kg-j1.txt .det-kg-j8.txt
+	test "$$(grep -c 'no-such-trace' .det-kg-j1.txt)" = "3"
+	@rm -f .det-kg-j1.txt .det-kg-j8.txt
+	@echo "parallel determinism OK: tables and keep-going failure reports byte-identical at -j 1 and -j 8"
 
 ci: build lint test

@@ -7,8 +7,10 @@
 //	dcasim [-design cd|rod|dca] [-org sa|dm] [-remap] [-lee] [-tagkb N]
 //	       [-bench m1,m2,m3,m4] [-instr N] [-scale bench|test|paper] [-seed N]
 //	       [-config cfg.json] [-save-config cfg.json] [-cache dir]
+//	       [-run-timeout d]
 //
 //	dcasim sweep -spec spec.json [-cache dir] [-j N] [-format text|csv|json]
+//	             [-keep-going] [-run-timeout d]
 //
 // -config loads a scenario written by -save-config (or by hand): the
 // file is the complete serialized configuration, and any flags given
@@ -21,7 +23,12 @@
 // product — against the same cache, fanning the points out over -j
 // parallel workers (default: all CPUs; -workers is an alias). The
 // rendered table is byte-identical at every -j, and on a terminal
-// stderr shows live progress. See examples/sweep/ and the README.
+// stderr shows live progress. -keep-going runs every point despite
+// failures and reports them all (in point order, deterministically);
+// because successes persist in the cache either way, rerunning a
+// partly-failed sweep recomputes only what is missing. -run-timeout
+// arms a per-run watchdog against hung simulations. See
+// examples/sweep/ and the README.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"dcasim"
 	"dcasim/internal/config"
@@ -63,6 +71,7 @@ func main() {
 		savePath = flag.String("save-config", "", "write the resolved configuration to this JSON file and exit")
 		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
 		workers  = flag.Int("j", runtime.NumCPU(), "runner worker-pool bound (a single run occupies one worker)")
+		runTO    = flag.Duration("run-timeout", 0, "per-run watchdog: fail a simulation that exceeds this (0 = off)")
 	)
 	flag.IntVar(workers, "workers", *workers, "alias for -j")
 	flag.Parse()
@@ -126,7 +135,7 @@ func main() {
 		return
 	}
 
-	res, err := cachedRun(cfg, *cacheDir, *workers)
+	res, err := cachedRun(cfg, *cacheDir, *workers, *runTO)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -158,27 +167,30 @@ func main() {
 // cachedRun executes one simulation through the persistent cache when a
 // directory is configured, so repeating a run costs nothing. It routes
 // through the exp runner — the one tested implementation of the
-// memo/cache/trace-bypass rules — rather than re-deriving them here.
-func cachedRun(cfg dcasim.Config, cacheDir string, workers int) (sim.Result, error) {
-	if cacheDir == "" {
+// memo/cache/trace-bypass rules, panic isolation, and the watchdog —
+// rather than re-deriving them here. Only the bare default (no cache,
+// no watchdog) calls the simulator directly.
+func cachedRun(cfg dcasim.Config, cacheDir string, workers int, runTimeout time.Duration) (sim.Result, error) {
+	if cacheDir == "" && runTimeout <= 0 {
 		return sim.Run(cfg)
 	}
-	cache, err := rescache.Open(cacheDir)
-	if err != nil {
-		return sim.Result{}, err
-	}
 	r := exp.NewRunner(cfg, nil, workers)
-	r.SetCache(cache)
+	r.SetRunTimeout(runTimeout)
+	if cacheDir != "" {
+		cache, err := rescache.Open(cacheDir)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		r.SetCache(cache)
+	}
 	res, err := r.Run(cfg)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	if r.SimRuns() == 0 {
+	if cacheDir != "" && r.SimRuns() == 0 {
 		fmt.Fprintf(os.Stderr, "[cache hit %.12s… in %s]\n", cfg.Hash(), cacheDir)
 	}
-	if cerr := r.CacheErr(); cerr != nil {
-		fmt.Fprintf(os.Stderr, "[cache write failed: %v]\n", cerr)
-	}
+	exp.WarnCacheErr(os.Stderr, r)
 	return res, nil
 }
 
@@ -186,10 +198,12 @@ func cachedRun(cfg dcasim.Config, cacheDir string, workers int) (sim.Result, err
 func runSweep(args []string) {
 	fs := flag.NewFlagSet("dcasim sweep", flag.ExitOnError)
 	var (
-		specPath = fs.String("spec", "", "sweep spec JSON file (required)")
-		cacheDir = fs.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
-		workers  = fs.Int("j", runtime.NumCPU(), "parallel simulation workers")
-		format   = fs.String("format", "text", "output format: text, csv, or json")
+		specPath  = fs.String("spec", "", "sweep spec JSON file (required)")
+		cacheDir  = fs.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
+		workers   = fs.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		format    = fs.String("format", "text", "output format: text, csv, or json")
+		keepGoing = fs.Bool("keep-going", false, "run every point despite failures and report them all (successes still land in the cache, so a rerun resumes)")
+		runTO     = fs.Duration("run-timeout", 0, "per-run watchdog: fail a simulation that exceeds this (0 = off)")
 	)
 	fs.IntVar(workers, "workers", *workers, "alias for -j")
 	if err := fs.Parse(args); err != nil {
@@ -216,8 +230,15 @@ func runSweep(args []string) {
 			log.Fatal(err)
 		}
 	}
-	tbl, runner, err := exp.RunSweep(spec, *workers, cache, exp.StderrProgress())
+	tbl, runner, err := exp.RunSweepOpts(spec, exp.SweepOpts{
+		Workers:    *workers,
+		Cache:      cache,
+		Progress:   exp.StderrProgress(),
+		KeepGoing:  *keepGoing,
+		RunTimeout: *runTO,
+	})
 	if err != nil {
+		exp.WarnCacheErr(os.Stderr, runner)
 		log.Fatal(err)
 	}
 	if err := tbl.Write(os.Stdout, *format); err != nil {
@@ -225,7 +246,5 @@ func runSweep(args []string) {
 	}
 	fmt.Fprintf(os.Stderr, "[sweep %s: %d points at -j %d, %d simulated, %d cache hits]\n",
 		spec.Name, len(spec.Points()), *workers, runner.SimRuns(), runner.CacheHits())
-	if err := runner.CacheErr(); err != nil {
-		fmt.Fprintf(os.Stderr, "[cache write failed: %v]\n", err)
-	}
+	exp.WarnCacheErr(os.Stderr, runner)
 }

@@ -13,6 +13,7 @@
 //	dcatrace -record foo.dct -mix mcf,lbm,libquantum,omnetpp -scale test
 //	dcatrace -replay foo.dct -design dca -org sa
 //	dcatrace -verify -mix mcf,lbm,libquantum,omnetpp -scale test [-j N]
+//	         [-cache dir]
 //
 // -record runs the mix live and captures every operation each core
 // consumes (warm-up included). -replay simulates from the file: core
@@ -22,7 +23,11 @@
 // -verify performs the round trip for every design × organization and
 // fails loudly unless each replayed result is bit-identical to its live
 // counterpart; the grid fans out over -j parallel workers (default: all
-// CPUs) with output committed in grid order.
+// CPUs) with output committed in grid order. The live halves of the
+// grid are ordinary cacheable simulations, so -cache (default
+// $DCASIM_CACHE) makes repeated verifications skip them; the replay
+// halves always run — their input is the trace file, whose contents the
+// cache key does not cover.
 package main
 
 import (
@@ -40,6 +45,7 @@ import (
 	"dcasim/internal/core"
 	"dcasim/internal/dcache"
 	"dcasim/internal/exp"
+	"dcasim/internal/rescache"
 	"dcasim/internal/sim"
 	"dcasim/internal/workload"
 )
@@ -55,14 +61,15 @@ func main() {
 		summary = flag.Bool("summary", false, "print aggregate statistics instead of the trace")
 		list    = flag.Bool("list", false, "list available benchmarks and their profiles")
 
-		record  = flag.String("record", "", "record a live run's operation streams to this .dct file")
-		replay  = flag.String("replay", "", "replay a .dct file through the simulator")
-		verify  = flag.Bool("verify", false, "record+replay round trip, compare bit for bit across all designs and organizations")
-		mix     = flag.String("mix", "soplex,mcf,gcc,libquantum", "comma-separated benchmarks, one per core (record/verify modes)")
-		cfgName = flag.String("scale", "test", "configuration scale for record/replay/verify: test or bench")
-		design  = flag.String("design", "dca", "controller design: cd, rod, or dca (replay/record modes)")
-		org     = flag.String("org", "sa", "cache organization: sa or dm (replay/record modes)")
-		workers = flag.Int("j", runtime.NumCPU(), "parallel workers for the -verify design x organization grid")
+		record   = flag.String("record", "", "record a live run's operation streams to this .dct file")
+		replay   = flag.String("replay", "", "replay a .dct file through the simulator")
+		verify   = flag.Bool("verify", false, "record+replay round trip, compare bit for bit across all designs and organizations")
+		mix      = flag.String("mix", "soplex,mcf,gcc,libquantum", "comma-separated benchmarks, one per core (record/verify modes)")
+		cfgName  = flag.String("scale", "test", "configuration scale for record/replay/verify: test or bench")
+		design   = flag.String("design", "dca", "controller design: cd, rod, or dca (replay/record modes)")
+		org      = flag.String("org", "sa", "cache organization: sa or dm (replay/record modes)")
+		workers  = flag.Int("j", runtime.NumCPU(), "parallel workers for the -verify design x organization grid")
+		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache for the -verify live runs (default $DCASIM_CACHE; empty = no cache)")
 	)
 	flag.IntVar(workers, "workers", *workers, "alias for -j")
 	flag.Parse()
@@ -78,7 +85,7 @@ func main() {
 	case *replay != "":
 		runReplay(*replay, *cfgName, *design, *org)
 	case *verify:
-		runVerify(*mix, *cfgName, *seed, *workers)
+		runVerify(*mix, *cfgName, *seed, *workers, *cacheDir)
 	case *summary:
 		summarize(*bench, *seed, *scale, *n)
 	default:
@@ -143,8 +150,12 @@ func runReplay(path, cfgName, design, org string) {
 // The grid cells are independent (each replay opens its own handle on
 // the recorded trace), so they fan out over a bounded pool of workers;
 // per-cell reports are committed by grid index, keeping the output
-// byte-identical at every -j.
-func runVerify(mix, cfgName string, seed uint64, workers int) {
+// byte-identical at every -j. The live halves route through an exp
+// runner so a persistent cache (when configured) can satisfy them;
+// replays and the recording never touch the cache — exp.Cacheable
+// excludes them, since the cache key covers the trace path, not the
+// trace bytes.
+func runVerify(mix, cfgName string, seed uint64, workers int, cacheDir string) {
 	dir, err := os.MkdirTemp("", "dcatrace-verify")
 	if err != nil {
 		log.Fatal(err)
@@ -158,6 +169,15 @@ func runVerify(mix, cfgName string, seed uint64, workers int) {
 	rec.RecordPath = path
 	if _, err := sim.Run(rec); err != nil {
 		log.Fatal(err)
+	}
+
+	runner := exp.NewRunner(baseConfig(cfgName, "cd", "sa"), nil, workers)
+	if cacheDir != "" {
+		cache, err := rescache.Open(cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner.SetCache(cache)
 	}
 
 	type cell struct {
@@ -186,7 +206,7 @@ func runVerify(mix, cfgName string, seed uint64, workers int) {
 			live.Benchmarks = strings.Split(mix, ",")
 			live.Seed = seed
 			live.Design, live.Org = c.d, c.o
-			want, err := sim.Run(live)
+			want, err := runner.Run(live)
 			if err != nil {
 				errs[i] = err
 				return
@@ -212,11 +232,13 @@ func runVerify(mix, cfgName string, seed uint64, workers int) {
 	failed := false
 	for i := range cells {
 		if errs[i] != nil {
+			exp.WarnCacheErr(os.Stderr, runner)
 			log.Fatal(errs[i])
 		}
 		fmt.Println(reports[i])
 		failed = failed || failures[i]
 	}
+	exp.WarnCacheErr(os.Stderr, runner)
 	if failed {
 		log.Fatal("replay verification FAILED")
 	}

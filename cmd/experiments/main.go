@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-mixes N] [-j N] [-scale bench|test] [-only fig8,fig9,...]
-//	            [-cache dir] [-format text|csv|json]
+//	            [-cache dir] [-format text|csv|json] [-keep-going]
+//	            [-run-timeout d]
 //
 // By default it runs all 30 Table I workload mixes at the bench scale and
 // prints Tables I–II and Figures 8–19 plus the extension studies. The
@@ -18,6 +19,12 @@
 // every -j: results commit in spec order, not completion order. On a
 // terminal, stderr shows live progress (runs done, simulated vs cached,
 // ETA); in batch logs it stays quiet.
+//
+// -keep-going continues past a failing figure (and past failing runs
+// inside each figure), prints every failure, and exits nonzero at the
+// end; with a cache attached every successful run still persists, so a
+// rerun after a fix recomputes only what is missing. -run-timeout arms
+// a per-run watchdog against hung simulations.
 package main
 
 import (
@@ -48,6 +55,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base random seed")
 		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
 		format   = flag.String("format", "text", "table output format: text, csv, or json")
+		keep     = flag.Bool("keep-going", false, "continue past failing figures, report every failure, exit nonzero at the end")
+		runTO    = flag.Duration("run-timeout", 0, "per-run watchdog: fail a simulation that exceeds this (0 = off)")
 	)
 	flag.IntVar(workers, "workers", *workers, "alias for -j")
 	flag.Parse()
@@ -75,6 +84,8 @@ func main() {
 
 	runner := dcasim.NewRunner(cfg, mixes, *workers)
 	runner.SetProgress(exp.StderrProgress())
+	runner.SetKeepGoing(*keep)
+	runner.SetRunTimeout(*runTO)
 	if *cacheDir != "" {
 		cache, err := rescache.Open(*cacheDir)
 		if err != nil {
@@ -122,6 +133,7 @@ func main() {
 	}
 
 	start := time.Now()
+	failed := false
 	for _, e := range entries {
 		if !selected(e.name) {
 			continue
@@ -129,7 +141,14 @@ func main() {
 		t0 := time.Now()
 		tbl, err := e.run()
 		if err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+			if !*keep {
+				log.Fatalf("%s: %v", e.name, err)
+			}
+			// Keep-going: report, skip this figure's output, and carry
+			// on — later figures may share runs that already succeeded.
+			log.Printf("%s: %v", e.name, err)
+			failed = true
+			continue
 		}
 		switch *format {
 		case "text":
@@ -156,9 +175,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.name, time.Since(t0).Round(time.Millisecond))
 		fmt.Println()
 	}
-	if err := runner.CacheErr(); err != nil {
-		fmt.Fprintf(os.Stderr, "[cache write failed: %v]\n", err)
-	}
+	exp.WarnCacheErr(os.Stderr, runner)
 	fmt.Fprintf(os.Stderr, "[all selected experiments done in %v over %d mixes at -j %d; %d simulations executed, %d cache hits]\n",
 		time.Since(start).Round(time.Millisecond), len(mixes), *workers, runner.SimRuns(), runner.CacheHits())
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -119,6 +119,24 @@ func RunSweep(spec SweepSpec, workers int, cache *ResultCache, progress ...Progr
 	return exp.RunSweep(spec, workers, cache, progress...)
 }
 
+// SweepOpts bundles the execution knobs of a sweep: workers, cache,
+// progress, keep-going failure collection, and the per-run watchdog.
+type SweepOpts = exp.SweepOpts
+
+// RunSweepOpts is RunSweep with the full option set.
+func RunSweepOpts(spec SweepSpec, opts SweepOpts) (*Table, *Runner, error) {
+	return exp.RunSweepOpts(spec, opts)
+}
+
+// RunPanicError is the typed error a panicking simulation surfaces as:
+// the panic fails its own run (carrying the config hash and captured
+// stack) instead of crashing the whole evaluation process.
+type RunPanicError = exp.RunPanicError
+
+// RunTimeoutError reports a run that exceeded the configured per-run
+// watchdog (Runner.SetRunTimeout / SweepOpts.RunTimeout).
+type RunTimeoutError = exp.RunTimeoutError
+
 // ProgressFunc observes experiment-engine run-completion events.
 type ProgressFunc = exp.ProgressFunc
 

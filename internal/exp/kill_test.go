@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dcasim/internal/config"
+	"dcasim/internal/rescache"
+)
+
+// killChildEnv points a re-executed child test process at the shared
+// cache directory; empty (the normal case) skips the child body.
+const killChildEnv = "DCASIM_KILL_CHILD_DIR"
+
+// killTuning is the shrunk claim-liveness timing both the child and the
+// survivor use, so staleness is observable in milliseconds.
+var killTuning = rescache.Tuning{
+	StaleAfter: 400 * time.Millisecond,
+	Heartbeat:  80 * time.Millisecond,
+	Poll:       5 * time.Millisecond,
+}
+
+// killSweepSpec is the sweep the killed child and the survivor share:
+// one seed axis of distinct points, so progress is simply "entries in
+// the cache directory".
+func killSweepSpec() SweepSpec {
+	axis := SweepAxis{Name: "seed"}
+	for seed := 101; seed <= 116; seed++ {
+		axis.Values = append(axis.Values, SweepPoint{
+			Label: fmt.Sprint(seed),
+			Set:   raw(`{"Seed":%d}`, seed),
+		})
+	}
+	return SweepSpec{
+		Schema:  config.SchemaVersion,
+		Name:    "kill-recovery",
+		Scale:   "test",
+		Base:    raw(`{"Benchmarks":["mcf","lbm","libquantum","omnetpp"]}`),
+		Axes:    []SweepAxis{axis},
+		Metrics: []string{"totalNS"},
+	}
+}
+
+// TestKillRecoveryChild is the victim body of TestKillRecovery, run in
+// a separate process (the parent re-executes the test binary with
+// killChildEnv set) so it can be SIGKILLed mid-sweep with its claims
+// left orphaned on disk. In a normal test run it skips immediately.
+func TestKillRecoveryChild(t *testing.T) {
+	dir := os.Getenv(killChildEnv)
+	if dir == "" {
+		t.Skip("child body; driven by TestKillRecovery")
+	}
+	cache, err := rescache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Tune(killTuning)
+	if _, _, err := RunSweepOpts(killSweepSpec(), SweepOpts{Workers: 2, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countSuffix counts dir entries with the given suffix, excluding any
+// longer suffix in except (so ".claim" does not count ".claim.break").
+func countSuffix(t *testing.T, dir, suffix, except string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), suffix) && (except == "" || !strings.HasSuffix(e.Name(), except)) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestKillRecovery is the crash-safety integration test: a child
+// process is SIGKILLed in the middle of a sweep — orphaning its claim
+// files with no chance to clean up — and a survivor sharing the cache
+// directory must then complete the sweep, reusing every entry the
+// victim persisted and breaking the orphaned claims instead of waiting
+// on a dead process.
+func TestKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills a child test process")
+	}
+
+	// Kill the child only while it provably holds a claim; if the claim
+	// released in the instant between observing it and the kill landing,
+	// retry with a fresh directory rather than flake.
+	var dir string
+	var orphans int
+	for attempt := 1; ; attempt++ {
+		dir = t.TempDir()
+		cmd := exec.Command(os.Args[0], "-test.run=^TestKillRecoveryChild$", "-test.count=1", "-test.v")
+		cmd.Env = append(os.Environ(), killChildEnv+"="+dir)
+		out := &strings.Builder{}
+		cmd.Stdout, cmd.Stderr = out, out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		waited := make(chan error, 1)
+		go func() { waited <- cmd.Wait() }()
+
+		deadline := time.Now().Add(60 * time.Second)
+		killed := false
+		for !killed {
+			select {
+			case err := <-waited:
+				// The child finished before we caught it mid-claim.
+				t.Logf("attempt %d: child exited before the kill (%v); output:\n%s", attempt, err, out)
+			case <-time.After(2 * time.Millisecond):
+				if countSuffix(t, dir, ".json", "") >= 2 && countSuffix(t, dir, ".claim", ".claim.break") >= 1 {
+					if err := cmd.Process.Kill(); err != nil {
+						t.Fatal(err)
+					}
+					<-waited
+					killed = true
+					continue
+				}
+				if time.Now().Before(deadline) {
+					continue
+				}
+				t.Fatalf("attempt %d: child never reached 2 entries + 1 live claim; output:\n%s", attempt, out)
+			}
+			break
+		}
+		if !killed {
+			if attempt >= 3 {
+				t.Fatal("child completed the sweep before every kill attempt")
+			}
+			continue
+		}
+		orphans = countSuffix(t, dir, ".claim", ".claim.break")
+		if orphans >= 1 {
+			break
+		}
+		if attempt >= 3 {
+			t.Fatal("no kill attempt left an orphaned claim behind")
+		}
+	}
+
+	pre := countSuffix(t, dir, ".json", "")
+	if pre < 2 || pre >= 16 {
+		t.Fatalf("victim persisted %d entries before the kill, want 2..15", pre)
+	}
+	t.Logf("victim killed with %d entries persisted and %d claims orphaned", pre, orphans)
+
+	// Let the orphaned claims (mtime frozen at the kill) age past the
+	// staleness window, then run the survivor in-process.
+	time.Sleep(killTuning.StaleAfter + 200*time.Millisecond)
+	cache, err := rescache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Tune(killTuning)
+	tbl, r, err := RunSweepOpts(killSweepSpec(), SweepOpts{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatalf("survivor sweep failed: %v", err)
+	}
+	if tbl == nil {
+		t.Fatal("survivor sweep returned no table")
+	}
+	if got := r.CacheHits(); got != int64(pre) {
+		t.Errorf("survivor reused %d of the victim's %d entries", got, pre)
+	}
+	if got := r.SimRuns(); got != int64(16-pre) {
+		t.Errorf("survivor simulated %d runs, want exactly the %d missing", got, 16-pre)
+	}
+	if n := countSuffix(t, dir, ".claim.break", ""); n != 0 {
+		t.Errorf("%d breaker-lock files left behind", n)
+	}
+	// Every claim blocking a missing entry must have been broken. A
+	// claim orphaned after its Put (kill between rename and release) may
+	// survive — it guards an entry that exists, so it can never block
+	// work, and Open sweeps it once it ages past the default window.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".claim") || strings.HasSuffix(name, ".claim.break") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".claim")
+		if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
+			t.Errorf("orphaned claim %s still blocks a missing entry", name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -104,4 +105,18 @@ func StderrProgress() ProgressFunc {
 func isTerminal(f *os.File) bool {
 	info, err := f.Stat()
 	return err == nil && info.Mode()&os.ModeCharDevice != 0
+}
+
+// WarnCacheErr prints the standard warning when a runner computed
+// results but could not persist them (CacheErr). Every binary that
+// attaches a persistent cache routes through this one helper so the
+// degraded mode is reported identically everywhere; a nil runner or a
+// clean cache prints nothing.
+func WarnCacheErr(w io.Writer, r *Runner) {
+	if r == nil {
+		return
+	}
+	if err := r.CacheErr(); err != nil {
+		fmt.Fprintf(w, "warning: result cache write failed: %v (results were computed but not persisted; the next pass will re-simulate them)\n", err)
+	}
 }

@@ -13,6 +13,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,6 +35,10 @@ type Runner struct {
 	workers  int
 	cache    *rescache.Cache
 	progress ProgressFunc
+
+	run        func(config.Config) (sim.Result, error) // the simulator; tests substitute panicking/hanging fakes
+	keepGoing  bool                                    // Ensure collects every failure instead of cancelling on the first
+	runTimeout time.Duration                           // per-run watchdog; <= 0 disables
 
 	mu        sync.Mutex
 	results   map[string]sim.Result // by config.Config.Hash()
@@ -63,6 +68,7 @@ func NewRunner(base config.Config, mixes []workload.Mix, workers int) *Runner {
 		base:     base,
 		mixes:    mixes,
 		workers:  workers,
+		run:      sim.Run,
 		results:  make(map[string]sim.Result),
 		errs:     make(map[string]error),
 		inflight: make(map[string]*call),
@@ -76,6 +82,18 @@ func (r *Runner) SetCache(c *rescache.Cache) { r.cache = c }
 // SetProgress installs a progress observer for Ensure passes (nil
 // disables reporting). Set it before the first Run/Ensure/Table call.
 func (r *Runner) SetProgress(f ProgressFunc) { r.progress = f }
+
+// SetKeepGoing selects Ensure's failure mode: false (the default) stops
+// dispatching on the first failure and reports the lowest-spec-index
+// error; true runs every config and reports all failures joined in spec
+// order — the resumable mode, where every run that can succeed lands in
+// the cache even when some cannot. Set it before the first Ensure call.
+func (r *Runner) SetKeepGoing(v bool) { r.keepGoing = v }
+
+// SetRunTimeout arms a per-run watchdog: a simulation that exceeds d
+// fails with *RunTimeoutError instead of hanging the sweep. d <= 0 (the
+// default) disables it. Set it before the first Run/Ensure call.
+func (r *Runner) SetRunTimeout(d time.Duration) { r.runTimeout = d }
 
 // SimRuns returns how many simulations this runner actually executed —
 // memo and persistent-cache hits excluded. A second evaluation pass
@@ -184,12 +202,20 @@ func (r *Runner) Run(cfg config.Config) (sim.Result, error) {
 					release = rel
 				} else if res, ok := r.cache.WaitForClaim(h); ok {
 					c.res, fromCache = res, true
+				} else if rel, ok := r.cache.TryClaim(h); ok {
+					// The wait ended without an entry: the claimant died
+					// (stale claim) or outlived the wait deadline. We are
+					// about to recompute — claim the key so siblings wait
+					// on us, and so a dead owner's claim file is actually
+					// broken and removed rather than left to confuse the
+					// next pass.
+					release = rel
 				}
 			}
 		}
 	}
 	if !fromCache && c.err == nil {
-		c.res, c.err = sim.Run(cfg)
+		c.res, c.err = r.execute(cfg)
 	}
 
 	r.mu.Lock()
@@ -240,7 +266,15 @@ func (r *Runner) Run(cfg config.Config) (sim.Result, error) {
 // Results are equally order-independent: runs commit into the
 // hash-keyed memo and the table/sweep renderers read them back in spec
 // order, so parallel output is bit-identical to sequential.
+//
+// With SetKeepGoing(true) a failure does not stop dispatch: every
+// config runs (and every success lands in the persistent cache, so a
+// partly-failing sweep is resumable), and Ensure returns all distinct
+// failures joined in spec order — the same determinism argument
+// applies, because the memo keys failures by hash and the final scan
+// reads them back in spec order regardless of which worker hit them.
 func (r *Runner) Ensure(cfgs []config.Config) error {
+	keepGoing := r.keepGoing
 	hashes := make([]string, len(cfgs))
 	var distinct []config.Config
 	seen := make(map[string]bool, len(cfgs))
@@ -303,7 +337,7 @@ func (r *Runner) Ensure(cfgs []config.Config) error {
 				// so running it costs at most one extra run — while
 				// skipping it here could skip an index received BEFORE
 				// the failure and break the lowest-failing-index proof.
-				if _, err := r.Run(distinct[i]); err != nil {
+				if _, err := r.Run(distinct[i]); err != nil && !keepGoing {
 					cancel()
 				}
 				if r.progress != nil {
@@ -341,14 +375,29 @@ func (r *Runner) Ensure(cfgs []config.Config) error {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !keepGoing {
+		for i, h := range hashes {
+			if err := r.errs[h]; err != nil {
+				cfg := cfgs[i]
+				return fmt.Errorf("exp: run %.12s… (%v/%v %v seed %d): %w",
+					h, cfg.Design, cfg.Org, cfg.Benchmarks, cfg.Seed, err)
+			}
+		}
+		return nil
+	}
+	// Keep-going: report every distinct failure, in spec order. The
+	// dedupe map is written and read in slice order, never ranged.
+	var joined []error
+	reported := make(map[string]bool, len(hashes))
 	for i, h := range hashes {
-		if err := r.errs[h]; err != nil {
+		if err := r.errs[h]; err != nil && !reported[h] {
+			reported[h] = true
 			cfg := cfgs[i]
-			return fmt.Errorf("exp: run %.12s… (%v/%v %v seed %d): %w",
-				h, cfg.Design, cfg.Org, cfg.Benchmarks, cfg.Seed, err)
+			joined = append(joined, fmt.Errorf("exp: run %.12s… (%v/%v %v seed %d): %w",
+				h, cfg.Design, cfg.Org, cfg.Benchmarks, cfg.Seed, err))
 		}
 	}
-	return nil
+	return errors.Join(joined...)
 }
 
 // result returns a memoized run (Ensure must have succeeded for cfg).

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"dcasim/internal/config"
 	"dcasim/internal/rescache"
@@ -148,6 +149,23 @@ func (s SweepSpec) pointLabel(idx []int) string {
 	return b.String()
 }
 
+// SweepOpts bundles the execution knobs of a sweep.
+type SweepOpts struct {
+	// Workers bounds concurrent simulations; must be >= 1.
+	Workers int
+	// Cache is the optional persistent result cache.
+	Cache *rescache.Cache
+	// Progress observes per-run completion events (nil disables).
+	Progress ProgressFunc
+	// KeepGoing runs every point even after failures and reports them
+	// all joined in cartesian order; false stops on the first failure.
+	// Either way a partly-failing sweep is resumable: completed points
+	// are in the cache, so a rerun recomputes only what is missing.
+	KeepGoing bool
+	// RunTimeout arms the per-run watchdog; <= 0 (the default) disables.
+	RunTimeout time.Duration
+}
+
 // RunSweep evaluates the spec: resolve the base config, enumerate the
 // cartesian product, compute every point (bounded-parallel over workers
 // simulations, consulting the persistent cache when one is attached),
@@ -157,13 +175,26 @@ func (s SweepSpec) pointLabel(idx []int) string {
 // every worker count. Runs with no sample for a metric render "-".
 // An optional progress observer receives per-run completion events.
 func RunSweep(spec SweepSpec, workers int, cache *rescache.Cache, progress ...ProgressFunc) (*stats.Table, *Runner, error) {
+	opts := SweepOpts{Workers: workers, Cache: cache}
+	for _, p := range progress {
+		opts.Progress = p
+	}
+	return RunSweepOpts(spec, opts)
+}
+
+// RunSweepOpts is RunSweep with the full option set. On failure the
+// returned runner is non-nil whenever the sweep got as far as running
+// (so callers can still inspect cache statistics and CacheErr); the
+// table is nil — a partial table would invite consuming half a sweep
+// as if it were the sweep.
+func RunSweepOpts(spec SweepSpec, opts SweepOpts) (*stats.Table, *Runner, error) {
 	// LoadSweep validates too, but specs can also be built in Go and
 	// handed straight here; a structural error must not surface as a
 	// panic after the simulations already ran.
 	if err := spec.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("exp: sweep %s: %w", spec.Name, err)
 	}
-	if err := ValidateWorkers(workers); err != nil {
+	if err := ValidateWorkers(opts.Workers); err != nil {
 		return nil, nil, err
 	}
 	base, err := config.ParsePreset(spec.Scale)
@@ -192,15 +223,15 @@ func RunSweep(spec SweepSpec, workers int, cache *rescache.Cache, progress ...Pr
 		}
 	}
 
-	r := NewRunner(base, nil, workers)
-	if cache != nil {
-		r.SetCache(cache)
+	r := NewRunner(base, nil, opts.Workers)
+	if opts.Cache != nil {
+		r.SetCache(opts.Cache)
 	}
-	for _, p := range progress {
-		r.SetProgress(p)
-	}
+	r.SetProgress(opts.Progress)
+	r.SetKeepGoing(opts.KeepGoing)
+	r.SetRunTimeout(opts.RunTimeout)
 	if err := r.Ensure(cfgs); err != nil {
-		return nil, nil, err
+		return nil, r, err
 	}
 
 	header := make([]string, 0, len(spec.Axes)+len(spec.Metrics))

@@ -1,0 +1,81 @@
+package rescache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"dcasim/internal/config"
+)
+
+// FuzzCacheGet feeds arbitrary bytes to the entry-envelope decode path.
+// The cache shares its directory with other processes, so an entry file
+// can hold anything — a torn write, bit rot, output of an older or
+// newer version. The contract under fuzzing: Get never panics, and it
+// reports a hit only for an envelope that independently passes every
+// integrity check (schema, key binding, SHA-256 of the canonical
+// payload bytes); everything else is a clean miss.
+func FuzzCacheGet(f *testing.F) {
+	key := config.Test().Hash()
+
+	// A genuine entry as the structural seed.
+	seedCache, err := Open(f.TempDir())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := seedCache.Put(key, sampleResult()); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(seedCache.Path(key))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"schema":1,"key":"` + key + `","sha256":"00","result":{}}`))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+
+	c, err := Open(f.TempDir())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := os.WriteFile(c.Path(key), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, ok := c.Get(key)
+		if !ok {
+			return
+		}
+		// Get trusted the bytes: re-verify the envelope with an
+		// independent oracle. Any divergence means the integrity checks
+		// let a corrupt entry through.
+		var e struct {
+			Schema int             `json:"schema"`
+			Key    string          `json:"key"`
+			SHA256 string          `json:"sha256"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Fatalf("Get trusted undecodable bytes: %v", err)
+		}
+		if e.Schema != config.SchemaVersion || e.Key != key {
+			t.Fatalf("Get trusted a mismatched envelope: schema=%d key=%q", e.Schema, e.Key)
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, e.Result); err != nil {
+			t.Fatalf("Get trusted a non-JSON payload: %v", err)
+		}
+		sum := sha256.Sum256(compact.Bytes())
+		if hex.EncodeToString(sum[:]) != e.SHA256 {
+			t.Fatal("Get trusted an entry whose payload checksum does not match")
+		}
+	})
+}

@@ -10,17 +10,25 @@
 // the envelope decodes, the schema and key match, and the SHA-256 of the
 // embedded result bytes matches — anything else (truncation, bit rot,
 // a file from an older schema) reads as a miss and is recomputed and
-// overwritten, never trusted. Writes go through a temp file and rename,
-// so concurrent processes sharing a directory see whole entries or none.
+// overwritten, never trusted. Writes go through a temp file that is
+// fsynced and then renamed, so concurrent processes sharing a directory
+// see whole entries or none, and a machine crash shortly after the
+// rename cannot surface a zero-length entry.
 //
 // Concurrency: within a process, writes to the same key serialize on a
 // per-key lock. Across processes, <dir>/<key>.claim files coordinate who
 // computes a missing entry: TryClaim takes the claim with an exclusive
-// create, losers can WaitForClaim until the winner's entry lands (or the
-// claim goes stale because its owner died). Claims are purely advisory —
+// create and keeps it visibly alive with a heartbeat goroutine that
+// refreshes the file's mtime, losers can WaitForClaim (bounded, with
+// jittered exponential backoff) until the winner's entry lands or the
+// claim goes stale because its owner died. Claims are purely advisory —
 // duplicated computation is wasted work, never wrong results, because
 // entry writes stay atomic either way. Open sweeps out temp and claim
 // files abandoned by killed processes so they cannot pin a key forever.
+//
+// Every filesystem operation goes through the cachefs.FS seam, so the
+// fault-injection suite can prove those invariants under EIO, ENOSPC,
+// torn writes, and simulated crashes.
 package rescache
 
 import (
@@ -28,21 +36,30 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
+	"dcasim/internal/cachefs"
 	"dcasim/internal/config"
 	"dcasim/internal/sim"
 )
 
-// claimStale is how old a claim file may grow before any process may
-// break it: a claimant that has not produced its entry within this
-// window is presumed dead. Generous compared to a single run (seconds
-// to minutes) so a live claimant is never raced.
+// FS is the filesystem seam every cache operation goes through; the
+// default is the real filesystem (cachefs.OS), and tests substitute
+// cachefs.Fault to inject EIO/ENOSPC/torn-write/crash faults.
+type FS = cachefs.FS
+
+// claimStale is the default for Tuning.StaleAfter: how old a claim file
+// may grow before any process may break it. A live claimant's heartbeat
+// refreshes the file's mtime far more often than this, so only a dead
+// owner's claim ever ages out — a run longer than the window no longer
+// loses its claim.
 const claimStale = 10 * time.Minute
 
 // staleTempAge is how old an orphaned temp file must be before Open
@@ -50,13 +67,40 @@ const claimStale = 10 * time.Minute
 // survive; anything this old was abandoned by a killed process.
 const staleTempAge = time.Hour
 
+// Tuning groups the liveness timing knobs of the claim protocol. Zero
+// fields keep their current values; tests (and the kill-recovery suite)
+// shrink them to make staleness observable in milliseconds.
+type Tuning struct {
+	// StaleAfter is the claim staleness window: a claim whose mtime is
+	// older than this belongs to a dead process and may be broken.
+	// Default 10 minutes.
+	StaleAfter time.Duration
+	// Heartbeat is how often a claim owner refreshes its claim file's
+	// mtime. Default StaleAfter/4.
+	Heartbeat time.Duration
+	// Poll is WaitForClaim's initial backoff between entry checks; the
+	// backoff doubles (with jitter) up to 32×Poll. Default 50 ms.
+	Poll time.Duration
+	// WaitMax bounds how long WaitForClaim blocks on a live claim
+	// before giving up and letting the caller recompute (claims are
+	// advisory: a stuck-but-heartbeating owner must not stall a waiter
+	// forever). Default 2×StaleAfter.
+	WaitMax time.Duration
+}
+
 // Cache is a directory of content-addressed simulation results.
 type Cache struct {
-	dir       string
-	pollEvery time.Duration // WaitForClaim poll interval (tests shrink it)
+	dir string
+	fs  cachefs.FS
 
-	mu   sync.Mutex
-	keys map[string]*sync.Mutex // per-key write locks
+	staleAfter time.Duration // claim staleness window
+	hbEvery    time.Duration // claim heartbeat interval
+	pollEvery  time.Duration // WaitForClaim initial backoff
+	waitMax    time.Duration // WaitForClaim deadline
+
+	mu       sync.Mutex
+	keys     map[string]*sync.Mutex // per-key write locks
+	rngState uint64                 // backoff jitter (xorshift, seeded per cache)
 }
 
 // entry is the on-disk envelope around one result.
@@ -68,25 +112,61 @@ type entry struct {
 }
 
 // Open returns a cache rooted at dir, creating the directory if needed.
-// It also removes temp and claim files left behind by killed processes:
-// a partially-written <key>.tmp* never becomes visible (writes are
-// rename-atomic) but used to sit in the directory forever, and a stale
-// <key>.claim would make other processes wait out the staleness window
-// for an owner that no longer exists.
-func Open(dir string) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// It also removes temp, claim, and breaker-lock files left behind by
+// killed processes: a partially-written <key>.tmp* never becomes
+// visible (writes are rename-atomic) but used to sit in the directory
+// forever, and a stale <key>.claim would make other processes wait out
+// the staleness window for an owner that no longer exists.
+func Open(dir string) (*Cache, error) { return OpenFS(dir, cachefs.OS()) }
+
+// OpenFS is Open over an explicit filesystem implementation — the
+// fault-injection seam. A nil fsys selects the real filesystem.
+func OpenFS(dir string, fsys cachefs.FS) (*Cache, error) {
+	if fsys == nil {
+		fsys = cachefs.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("rescache: %w", err)
 	}
-	c := &Cache{dir: dir, pollEvery: 50 * time.Millisecond, keys: make(map[string]*sync.Mutex)}
+	c := &Cache{
+		dir:        dir,
+		fs:         fsys,
+		staleAfter: claimStale,
+		hbEvery:    claimStale / 4,
+		pollEvery:  50 * time.Millisecond,
+		waitMax:    2 * claimStale,
+		keys:       make(map[string]*sync.Mutex),
+		rngState:   uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano()) | 1,
+	}
 	c.cleanStale()
 	return c, nil
 }
 
-// cleanStale removes abandoned temp files and expired claim files. Best
-// effort: a cleanup failure never fails Open — the worst case is the
-// status quo ante (a little garbage in the directory).
+// Tune overrides the claim-liveness timing knobs; zero fields keep
+// their current values. Call it before the cache is shared between
+// goroutines (it does not lock).
+func (c *Cache) Tune(t Tuning) {
+	if t.StaleAfter > 0 {
+		c.staleAfter = t.StaleAfter
+		c.hbEvery = t.StaleAfter / 4
+		c.waitMax = 2 * t.StaleAfter
+	}
+	if t.Heartbeat > 0 {
+		c.hbEvery = t.Heartbeat
+	}
+	if t.Poll > 0 {
+		c.pollEvery = t.Poll
+	}
+	if t.WaitMax > 0 {
+		c.waitMax = t.WaitMax
+	}
+}
+
+// cleanStale removes abandoned temp files and expired claim and breaker
+// files. Best effort: a cleanup failure never fails Open — the worst
+// case is the status quo ante (a little garbage in the directory).
 func (c *Cache) cleanStale() {
-	entries, err := os.ReadDir(c.dir)
+	entries, err := c.fs.ReadDir(c.dir)
 	if err != nil {
 		return
 	}
@@ -97,7 +177,7 @@ func (c *Cache) cleanStale() {
 		switch {
 		case strings.Contains(name, ".tmp"):
 			maxAge = staleTempAge
-		case strings.HasSuffix(name, ".claim"):
+		case strings.HasSuffix(name, ".claim"), strings.HasSuffix(name, ".claim.break"):
 			maxAge = claimStale
 		default:
 			continue // entry files and anything unrecognized are left alone
@@ -107,9 +187,17 @@ func (c *Cache) cleanStale() {
 			continue
 		}
 		if now.Sub(info.ModTime()) > maxAge {
-			os.Remove(filepath.Join(c.dir, name))
+			c.removeQuiet(filepath.Join(c.dir, name))
 		}
 	}
+}
+
+// removeQuiet deletes path, tolerating failure by design: every caller
+// is cleaning up a scratch, claim, or breaker file whose survival costs
+// at most a later sweep or staleness break, never wrong results.
+func (c *Cache) removeQuiet(path string) {
+	err := c.fs.Remove(path)
+	_ = err // best effort: a file that refuses to die goes stale and is swept later
 }
 
 // Dir returns the cache directory.
@@ -138,6 +226,26 @@ func (c *Cache) keyLock(key string) *sync.Mutex {
 	return m
 }
 
+// jitter returns a pseudo-random duration in [0, d/2): claim waiters
+// desynchronize their polls so a released claim is not hammered by
+// every waiter in the same instant. The stream is a per-cache xorshift
+// — deliberately not math/rand's process-global state, and irrelevant
+// to result determinism (it only shifts when a waiter looks, never what
+// it reads).
+func (c *Cache) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return 0
+	}
+	c.mu.Lock()
+	x := c.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rngState = x
+	c.mu.Unlock()
+	return time.Duration(x % uint64(d/2))
+}
+
 // validKey reports whether key is a hex digest — the only file names the
 // cache will touch, so a corrupted or hostile key cannot escape the
 // cache directory.
@@ -160,7 +268,7 @@ func (c *Cache) Get(key string) (res sim.Result, ok bool) {
 	if !validKey(key) {
 		return sim.Result{}, false
 	}
-	data, err := os.ReadFile(c.Path(key))
+	data, err := c.fs.ReadFile(c.Path(key))
 	if err != nil {
 		return sim.Result{}, false
 	}
@@ -188,9 +296,14 @@ func (c *Cache) Get(key string) (res sim.Result, ok bool) {
 	return res, true
 }
 
-// Put stores a result under key, atomically replacing any existing entry.
-// Concurrent in-process writers to the same key serialize; concurrent
-// processes are already safe through the temp-file-and-rename protocol.
+// Put stores a result under key, atomically replacing any existing
+// entry. Concurrent in-process writers to the same key serialize;
+// concurrent processes are already safe through the sync-temp-then-
+// rename protocol. The temp file is fsynced before the rename — without
+// that barrier a machine crash after the rename could leave a
+// zero-length entry under the final name on journaled filesystems — and
+// the directory is synced best-effort afterwards so the rename itself
+// survives a crash (its loss costs one recompute, never a torn entry).
 func (c *Cache) Put(key string, res sim.Result) error {
 	if !validKey(key) {
 		return fmt.Errorf("rescache: invalid key %q", key)
@@ -212,22 +325,35 @@ func (c *Cache) Put(key string, res sim.Result) error {
 	if err != nil {
 		return fmt.Errorf("rescache: encode entry: %w", err)
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	tmp, err := c.fs.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return fmt.Errorf("rescache: %w", err)
 	}
 	_, werr := tmp.Write(append(data, '\n'))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr == nil {
-			werr = cerr
-		}
-		return fmt.Errorf("rescache: write entry: %w", werr)
+	var serr error
+	if werr == nil {
+		serr = tmp.Sync()
 	}
-	if err := os.Rename(tmp.Name(), c.Path(key)); err != nil {
-		os.Remove(tmp.Name())
+	cerr := tmp.Close()
+	if err := firstErr(werr, serr, cerr); err != nil {
+		c.removeQuiet(tmp.Name())
+		return fmt.Errorf("rescache: write entry: %w", err)
+	}
+	if err := c.fs.Rename(tmp.Name(), c.Path(key)); err != nil {
+		c.removeQuiet(tmp.Name())
 		return fmt.Errorf("rescache: %w", err)
+	}
+	derr := c.fs.SyncDir(c.dir)
+	_ = derr // best effort: an unsynced rename costs at most a recompute after a machine crash
+	return nil
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -236,8 +362,13 @@ func (c *Cache) Put(key string, res sim.Result) error {
 // sibling processes sharing the directory can wait instead of
 // duplicating the run. ok reports whether the claim was taken; release
 // must be called exactly once (after the entry is Put, so waiters wake
-// to a hit) and is never nil. A claim whose file has outlived
-// claimStale is presumed orphaned and broken.
+// to a hit) and is never nil. While the claim is held, a heartbeat
+// goroutine refreshes the claim file's mtime every Tuning.Heartbeat, so
+// a run longer than the staleness window keeps its claim; release stops
+// the heartbeat and removes the file. A claim whose mtime has outlived
+// Tuning.StaleAfter is presumed orphaned and broken (under a per-key
+// breaker lock, so racing breakers cannot delete each other's fresh
+// replacement claims — at most one claimant wins a breaking episode).
 //
 // Claims are advisory: on any unexpected filesystem error the caller is
 // told to proceed (ok=true with a no-op release) — duplicate computation
@@ -248,44 +379,126 @@ func (c *Cache) TryClaim(key string) (release func(), ok bool) {
 		return noop, true
 	}
 	path := c.claimPath(key)
-	for attempt := 0; attempt < 2; attempt++ {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := c.fs.CreateExclusive(path)
 		if err == nil {
-			fmt.Fprintf(f, "pid %d\n", os.Getpid())
-			f.Close()
-			return func() { os.Remove(path) }, true
+			_, werr := fmt.Fprintf(f, "pid %d\n", os.Getpid())
+			cerr := f.Close()
+			if ferr := firstErr(werr, cerr); ferr != nil {
+				// The claim exists but could not be written out; keep it
+				// (its existence is the lock) and carry on.
+				_ = ferr // the file's contents are diagnostic only
+			}
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go c.heartbeat(path, stop, done)
+			return func() {
+				close(stop)
+				<-done
+				c.removeQuiet(path)
+			}, true
 		}
-		if !os.IsExist(err) {
+		if !errors.Is(err, iofs.ErrExist) {
 			return noop, true // advisory: proceed without a claim
 		}
-		info, serr := os.Stat(path)
+		info, serr := c.fs.Stat(path)
 		if serr != nil {
 			continue // claim vanished between create and stat: retry
 		}
-		if time.Since(info.ModTime()) <= claimStale {
+		if time.Since(info.ModTime()) <= c.staleAfter {
 			return noop, false // live claimant
 		}
-		// Stale claim from a dead process: break it and retry the
-		// exclusive create (a racing breaker may win; we then observe a
-		// fresh claim on the next attempt and report it as held).
-		os.Remove(path)
+		// Stale claim from a dead process: break it under the breaker
+		// lock and retry the exclusive create. A racing claimant may
+		// win that create; we then observe a fresh claim on the next
+		// attempt and report the key as held.
+		if !c.breakStale(path) {
+			return noop, false
+		}
 	}
 	return noop, false
 }
 
+// heartbeat refreshes path's mtime every hbEvery until stop closes, so
+// a live claim never looks stale no matter how long its run computes.
+// Any refresh failure ends the heartbeat: either the claim file is gone
+// (released, broken, or swept — beating would resurrect a file another
+// process now owns) or the filesystem is sick, and in both cases the
+// safe behaviour is to let the claim age out.
+func (c *Cache) heartbeat(path string, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(c.hbEvery):
+			now := time.Now()
+			if err := c.fs.Chtimes(path, now, now); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// breakStale removes a stale claim under an exclusive per-key breaker
+// lock (<claim>.break). Without the lock, two breakers can interleave
+// remove/create such that one deletes the other's *fresh* replacement
+// claim and both believe they won; with it, the claim file is only ever
+// removed by the lock holder after re-checking staleness, so exactly
+// one claimant can win the subsequent exclusive create. Reports whether
+// the caller should retry that create; false means another process owns
+// the break (or the claim turned out to be live after all).
+func (c *Cache) breakStale(path string) bool {
+	lock := path + ".break"
+	bf, err := c.fs.CreateExclusive(lock)
+	if err != nil {
+		if !errors.Is(err, iofs.ErrExist) {
+			return false // advisory protocol on a sick FS: treat as held
+		}
+		// Another process is mid-break. If its lock is itself stale
+		// (breaker killed between create and remove), sweep it so the
+		// key cannot wedge; the next attempt re-races the break.
+		if info, serr := c.fs.Stat(lock); serr == nil && time.Since(info.ModTime()) > c.staleAfter {
+			c.removeQuiet(lock)
+			return true
+		}
+		return false
+	}
+	cerr := bf.Close()
+	_ = cerr // the lock is the file's existence, not its contents
+	defer c.removeQuiet(lock)
+	// Re-check under the lock: the claim may have been broken and
+	// re-taken (now fresh) while we raced for the lock.
+	info, serr := c.fs.Stat(path)
+	if serr != nil {
+		return true // claim gone already
+	}
+	if time.Since(info.ModTime()) <= c.staleAfter {
+		return false
+	}
+	c.removeQuiet(path)
+	return true
+}
+
 // ClaimHeld reports whether a live (non-stale) claim for key exists.
 func (c *Cache) ClaimHeld(key string) bool {
-	info, err := os.Stat(c.claimPath(key))
-	return err == nil && time.Since(info.ModTime()) <= claimStale
+	info, err := c.fs.Stat(c.claimPath(key))
+	return err == nil && time.Since(info.ModTime()) <= c.staleAfter
 }
 
 // WaitForClaim blocks while another process holds a live claim on key,
-// polling for its entry to land. It returns the result as soon as one is
-// readable; ok is false once the claim is gone (released or stale)
-// without an entry appearing — the caller should then compute the run
-// itself. A caller that never claimed and never saw a claim gets an
-// immediate miss.
+// waiting for its entry to land with jittered exponential backoff
+// (starting at Tuning.Poll, capped at 32×Poll) instead of a fixed-rate
+// poll. It returns the result as soon as one is readable; ok is false
+// once the claim is gone (released or stale) without an entry
+// appearing, or once Tuning.WaitMax elapses — the caller should then
+// compute the run itself (claims are advisory, so an owner that
+// heartbeats but never finishes costs a duplicated run, never a hang).
+// A caller that never claimed and never saw a claim gets an immediate
+// miss.
 func (c *Cache) WaitForClaim(key string) (sim.Result, bool) {
+	deadline := time.Now().Add(c.waitMax)
+	backoff := c.pollEvery
 	for {
 		if res, ok := c.Get(key); ok {
 			return res, true
@@ -296,6 +509,14 @@ func (c *Cache) WaitForClaim(key string) (sim.Result, bool) {
 			// re-simulating an entry that just landed.
 			return c.Get(key)
 		}
-		time.Sleep(c.pollEvery)
+		if time.Now().After(deadline) {
+			// Bounded wait: stop trusting the claimant's progress and
+			// recompute. Same final look as above.
+			return c.Get(key)
+		}
+		time.Sleep(backoff + c.jitter(backoff))
+		if backoff < 32*c.pollEvery {
+			backoff *= 2
+		}
 	}
 }
