@@ -40,7 +40,9 @@
 #                      under -race and require byte-identical output,
 #                      then require a -keep-going sweep with injected
 #                      failures to report them byte-identically at
-#                      every worker count (CI job)
+#                      every worker count, then require a -seeds 3
+#                      replicated sweep to render byte-identical
+#                      mean ±CI tables at -j 1 and -j 8 (CI job)
 
 GO ?= go
 BENCH_OUT ?= BENCH_controller.json
@@ -155,7 +157,13 @@ bench-parallel:
 # byte-identically at every worker count. The grep guard pins the
 # expected failure count, so a compile error or an accidentally-green
 # sweep cannot slip through the `|| true` that tolerates the intended
-# nonzero exit.
+# nonzero exit. The third half extends the contract to seeded
+# replication: a -seeds 3 sweep (testdata/sweep_seeds.json) must render
+# its mean ±CI95 table byte-identically at -j 1 and -j 8 — replicate
+# fan-out multiplies the points the pool dispatches, so it is the
+# stress case for in-order result commitment — and the ± grep guard
+# proves the CI columns actually rendered (a silently-degenerate
+# single-replicate run would also pass cmp).
 determinism:
 	$(GO) run -race ./cmd/experiments -scale test -mixes 2 -only fig8 -j 1 -format text > .det-j1.txt
 	$(GO) run -race ./cmd/experiments -scale test -mixes 2 -only fig8 -j 8 -format text > .det-j8.txt
@@ -166,6 +174,11 @@ determinism:
 	cmp .det-kg-j1.txt .det-kg-j8.txt
 	test "$$(grep -c 'no-such-trace' .det-kg-j1.txt)" = "3"
 	@rm -f .det-kg-j1.txt .det-kg-j8.txt
-	@echo "parallel determinism OK: tables and keep-going failure reports byte-identical at -j 1 and -j 8"
+	DCASIM_CACHE= $(GO) run -race ./cmd/dcasim sweep -spec testdata/sweep_seeds.json -seeds 3 -j 1 > .det-seeds-j1.txt
+	DCASIM_CACHE= $(GO) run -race ./cmd/dcasim sweep -spec testdata/sweep_seeds.json -seeds 3 -j 8 > .det-seeds-j8.txt
+	cmp .det-seeds-j1.txt .det-seeds-j8.txt
+	grep -q '±' .det-seeds-j1.txt
+	@rm -f .det-seeds-j1.txt .det-seeds-j8.txt
+	@echo "parallel determinism OK: tables, keep-going failure reports, and -seeds 3 CI tables byte-identical at -j 1 and -j 8"
 
 ci: build lint test

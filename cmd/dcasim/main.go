@@ -6,11 +6,11 @@
 //
 //	dcasim [-design cd|rod|dca] [-org sa|dm] [-remap] [-lee] [-tagkb N]
 //	       [-bench m1,m2,m3,m4] [-instr N] [-scale bench|test|paper] [-seed N]
-//	       [-config cfg.json] [-save-config cfg.json] [-cache dir]
+//	       [-seeds N] [-config cfg.json] [-save-config cfg.json] [-cache dir]
 //	       [-run-timeout d]
 //
-//	dcasim sweep -spec spec.json [-cache dir] [-j N] [-format text|csv|json]
-//	             [-keep-going] [-run-timeout d]
+//	dcasim sweep -spec spec.json [-cache dir] [-j N] [-seeds N]
+//	             [-format text|csv|json] [-keep-going] [-run-timeout d]
 //
 // -config loads a scenario written by -save-config (or by hand): the
 // file is the complete serialized configuration, and any flags given
@@ -23,7 +23,10 @@
 // product — against the same cache, fanning the points out over -j
 // parallel workers (default: all CPUs; -workers is an alias). The
 // rendered table is byte-identical at every -j, and on a terminal
-// stderr shows live progress. -keep-going runs every point despite
+// stderr shows live progress. -seeds N (both modes) runs N seed-derived
+// replicates of each configuration and reports mean ±95% confidence
+// cells; replicates are ordinary seed-patched configs, so they hit the
+// same cache. -keep-going runs every point despite
 // failures and reports them all (in point order, deterministically);
 // because successes persist in the cache either way, rerunning a
 // partly-failed sweep recomputes only what is missing. -run-timeout
@@ -67,6 +70,7 @@ func main() {
 		instr    = flag.Int64("instr", 0, "instructions per core (0 = scale default)")
 		scale    = flag.String("scale", "bench", "configuration scale: bench, test, or paper")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		seeds    = flag.Int("seeds", 1, "seeded replicates: run N seed-derived replicates and report mean ±95% CI (1 = single run)")
 		cfgPath  = flag.String("config", "", "load the full configuration from this JSON file (explicit flags still override)")
 		savePath = flag.String("save-config", "", "write the resolved configuration to this JSON file and exit")
 		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
@@ -76,6 +80,9 @@ func main() {
 	flag.IntVar(workers, "workers", *workers, "alias for -j")
 	flag.Parse()
 	if err := exp.ValidateWorkers(*workers); err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.ValidateReplicates(*seeds); err != nil {
 		log.Fatal(err)
 	}
 
@@ -132,6 +139,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (hash %.12s…)\n", *savePath, cfg.Hash())
+		return
+	}
+
+	if *seeds > 1 {
+		if err := replicateReport(cfg, *seeds, *cacheDir, *workers, *runTO); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -194,6 +208,58 @@ func cachedRun(cfg dcasim.Config, cacheDir string, workers int, runTimeout time.
 	return res, nil
 }
 
+// replicateReport runs n seed-derived replicates of cfg through the
+// runner (parallel across workers, deduplicated through the persistent
+// cache when one is configured) and prints a summary table of mean
+// ±95% CI cells for the headline metrics.
+func replicateReport(cfg dcasim.Config, n int, cacheDir string, workers int, runTimeout time.Duration) error {
+	r := exp.NewRunner(cfg, nil, workers)
+	r.SetRunTimeout(runTimeout)
+	if cacheDir != "" {
+		cache, err := rescache.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		r.SetCache(cache)
+	}
+	cfgs := exp.ReplicateConfigs(cfg, n)
+	if err := r.Ensure(cfgs); err != nil {
+		exp.WarnCacheErr(os.Stderr, r)
+		return err
+	}
+	results := make([]sim.Result, n)
+	for k, c := range cfgs {
+		res, err := r.Run(c) // memo hit: Ensure already computed every replicate
+		if err != nil {
+			return err
+		}
+		results[k] = res
+	}
+
+	fmt.Printf("design=%v org=%v remap=%v lee=%v tagcache=%dKB  (%d seeded replicates of seed %d)\n",
+		cfg.Design, cfg.Org, cfg.XORRemap, cfg.LeeWriteback, cfg.TagCacheKB, n, cfg.Seed)
+	tbl := stats.NewTable("metric", "mean ±ci95")
+	sample := func(name string, f func(sim.Result) float64) {
+		vals := make([]float64, n)
+		for k := range results {
+			vals[k] = f(results[k])
+		}
+		tbl.AddRowf(name, stats.Summarize(vals))
+	}
+	for i, b := range results[0].Benchmarks {
+		sample(fmt.Sprintf("ipc%d (%s)", i, b), func(res sim.Result) float64 { return res.IPC[i] })
+	}
+	sample("avg read latency ns", func(res sim.Result) float64 { return res.AvgReadLatencyNS() })
+	sample("L2 miss latency ns", func(res sim.Result) float64 { return res.L2MissLatencyNS })
+	sample("read hit rate", func(res sim.Result) float64 { return res.DCache.ReadHitRate() })
+	sample("read row-buffer hit rate", func(res sim.Result) float64 { return res.DRAM.ReadRowHitRate() })
+	sample("accesses per turnaround", func(res sim.Result) float64 { return res.AccessesPerTurnaround() })
+	fmt.Print(tbl.String())
+	fmt.Fprintf(os.Stderr, "[%d replicates: %d simulated, %d cache hits]\n", n, r.SimRuns(), r.CacheHits())
+	exp.WarnCacheErr(os.Stderr, r)
+	return nil
+}
+
 // runSweep is the `dcasim sweep` subcommand.
 func runSweep(args []string) {
 	fs := flag.NewFlagSet("dcasim sweep", flag.ExitOnError)
@@ -204,6 +270,7 @@ func runSweep(args []string) {
 		format    = fs.String("format", "text", "output format: text, csv, or json")
 		keepGoing = fs.Bool("keep-going", false, "run every point despite failures and report them all (successes still land in the cache, so a rerun resumes)")
 		runTO     = fs.Duration("run-timeout", 0, "per-run watchdog: fail a simulation that exceeds this (0 = off)")
+		seeds     = fs.Int("seeds", 0, "seeded replicates per point, reported as mean ±95% CI (0 = the spec's replicates value, default 1)")
 	)
 	fs.IntVar(workers, "workers", *workers, "alias for -j")
 	if err := fs.Parse(args); err != nil {
@@ -219,6 +286,11 @@ func runSweep(args []string) {
 	}
 	if err := exp.ValidateWorkers(*workers); err != nil {
 		log.Fatal(err)
+	}
+	if *seeds != 0 {
+		if err := exp.ValidateReplicates(*seeds); err != nil {
+			log.Fatal(err)
+		}
 	}
 	spec, err := exp.LoadSweep(*specPath)
 	if err != nil {
@@ -236,6 +308,7 @@ func runSweep(args []string) {
 		Progress:   exp.StderrProgress(),
 		KeepGoing:  *keepGoing,
 		RunTimeout: *runTO,
+		Replicates: *seeds,
 	})
 	if err != nil {
 		exp.WarnCacheErr(os.Stderr, runner)

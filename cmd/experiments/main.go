@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-mixes N] [-j N] [-scale bench|test] [-only fig8,fig9,...]
-//	            [-cache dir] [-format text|csv|json] [-keep-going]
+//	            [-seeds N] [-cache dir] [-format text|csv|json] [-keep-going]
 //	            [-run-timeout d]
 //
 // By default it runs all 30 Table I workload mixes at the bench scale and
@@ -19,6 +19,12 @@
 // every -j: results commit in spec order, not completion order. On a
 // terminal, stderr shows live progress (runs done, simulated vs cached,
 // ETA); in batch logs it stays quiet.
+//
+// -seeds N evaluates every figure over N seed-derived replicates and
+// renders each cell as mean ±95% CI; replicates are ordinary
+// seed-patched configs, so they share the memo and persistent cache
+// like any other run, and -seeds 1 (the default) is bit-identical to
+// the unreplicated engine.
 //
 // -keep-going continues past a failing figure (and past failing runs
 // inside each figure), prints every failure, and exits nonzero at the
@@ -53,6 +59,7 @@ func main() {
 		scale    = flag.String("scale", "bench", "configuration scale: bench or test")
 		only     = flag.String("only", "", "comma-separated subset, e.g. tableI,fig8,fig18")
 		seed     = flag.Uint64("seed", 1, "base random seed")
+		seeds    = flag.Int("seeds", 1, "seeded replicates per figure cell, rendered as mean ±95% CI (1 = single run)")
 		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache directory (default $DCASIM_CACHE; empty = no cache)")
 		format   = flag.String("format", "text", "table output format: text, csv, or json")
 		keep     = flag.Bool("keep-going", false, "continue past failing figures, report every failure, exit nonzero at the end")
@@ -67,6 +74,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := exp.ValidateWorkers(*workers); err != nil {
+		log.Fatal(err)
+	}
+	if err := exp.ValidateReplicates(*seeds); err != nil {
 		log.Fatal(err)
 	}
 
@@ -86,6 +96,7 @@ func main() {
 	runner.SetProgress(exp.StderrProgress())
 	runner.SetKeepGoing(*keep)
 	runner.SetRunTimeout(*runTO)
+	runner.SetReplicates(*seeds)
 	if *cacheDir != "" {
 		cache, err := rescache.Open(*cacheDir)
 		if err != nil {

@@ -68,6 +68,11 @@ type Runner = exp.Runner
 // Table is the aligned-text result table returned by experiment drivers.
 type Table = stats.Table
 
+// Sample is a replicated measurement cell: the mean over N seeded
+// replicate runs and its 95% confidence half-width. Tables render it as
+// "mean ±ci" in text and split it into two columns in CSV/JSON.
+type Sample = stats.Sample
+
 // PaperConfig returns the paper's Table II configuration (500 M
 // instructions per core — use BenchConfig for tractable runs).
 func PaperConfig() Config { return config.Paper() }
@@ -146,6 +151,15 @@ func StderrProgress() ProgressFunc { return exp.StderrProgress() }
 
 // ValidateWorkers rejects worker counts below 1.
 func ValidateWorkers(j int) error { return exp.ValidateWorkers(j) }
+
+// ValidateReplicates rejects replicate counts below 1 (the -seeds flag).
+func ValidateReplicates(n int) error { return exp.ValidateReplicates(n) }
+
+// ReplicateConfigs expands cfg into n seeded replicate configs: element
+// 0 is cfg itself, element k shifts the seed by a fixed stride
+// (config.ReplicateSeed), so replicates content-address and cache like
+// any other config.
+func ReplicateConfigs(cfg Config, n int) []Config { return exp.ReplicateConfigs(cfg, n) }
 
 // LoadConfig reads a configuration written by SaveConfig (a versioned
 // JSON envelope; see internal/config).

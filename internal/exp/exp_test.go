@@ -117,14 +117,14 @@ func TestFig19Runs(t *testing.T) {
 
 func TestAloneIPCMemoized(t *testing.T) {
 	r := testRunner(t, 1)
-	if err := r.Ensure(r.aloneConfigs(dcache.SetAssoc)); err != nil {
+	if err := r.Ensure(r.aloneConfigs(dcache.SetAssoc, 1)); err != nil {
 		t.Fatal(err)
 	}
 	n := r.SimRuns()
 	if n == 0 {
 		t.Fatal("no alone IPCs computed")
 	}
-	if err := r.Ensure(r.aloneConfigs(dcache.SetAssoc)); err != nil {
+	if err := r.Ensure(r.aloneConfigs(dcache.SetAssoc, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if r.SimRuns() != n {
@@ -152,7 +152,7 @@ func TestAloneIPCSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.aloneIPCs(mix, dcache.SetAssoc)
+			results[i], errs[i] = r.aloneIPCs(mix, dcache.SetAssoc, 0)
 		}(i)
 	}
 	wg.Wait()

@@ -30,11 +30,12 @@ import (
 
 // Runner memoizes simulation runs for the experiment drivers.
 type Runner struct {
-	base     config.Config
-	mixes    []workload.Mix
-	workers  int
-	cache    *rescache.Cache
-	progress ProgressFunc
+	base       config.Config
+	mixes      []workload.Mix
+	workers    int
+	cache      *rescache.Cache
+	progress   ProgressFunc
+	replicates int // default replicate count for Table; specs may override
 
 	run        func(config.Config) (sim.Result, error) // the simulator; tests substitute panicking/hanging fakes
 	keepGoing  bool                                    // Ensure collects every failure instead of cancelling on the first
@@ -94,6 +95,44 @@ func (r *Runner) SetKeepGoing(v bool) { r.keepGoing = v }
 // fails with *RunTimeoutError instead of hanging the sweep. d <= 0 (the
 // default) disables it. Set it before the first Run/Ensure call.
 func (r *Runner) SetRunTimeout(d time.Duration) { r.runTimeout = d }
+
+// SetReplicates sets the default replicate count Table uses when a spec
+// does not carry its own: every grid cell fans out into n seed-derived
+// runs and renders as mean ±CI95. n <= 1 (and the zero default) keeps
+// the single-run behaviour, bit-identical to the unreplicated engine.
+// A spec's own Replicates field, when positive, wins over this default.
+func (r *Runner) SetReplicates(n int) { r.replicates = n }
+
+// ValidateReplicates rejects a nonsensical replicate count up front, so
+// a bad -seeds flag fails before any simulation work.
+func ValidateReplicates(n int) error {
+	if n < 1 {
+		return fmt.Errorf("exp: replicates must be >= 1, got %d", n)
+	}
+	return nil
+}
+
+// replicateCfg returns the config of seeded replicate k of a run:
+// replicate 0 is the config itself, and k > 0 shifts the seed by
+// config.ReplicateSeed. The result is an ordinary config, so replicates
+// content-address, cache, and deduplicate exactly like any other run.
+func replicateCfg(cfg config.Config, k int) config.Config {
+	if k == 0 {
+		return cfg
+	}
+	cfg.Seed = config.ReplicateSeed(cfg.Seed, k)
+	return cfg
+}
+
+// ReplicateConfigs expands cfg into its n seeded replicate configs:
+// element 0 is cfg itself, element k carries the k-th replicate seed.
+func ReplicateConfigs(cfg config.Config, n int) []config.Config {
+	cfgs := make([]config.Config, n)
+	for k := range cfgs {
+		cfgs[k] = replicateCfg(cfg, k)
+	}
+	return cfgs
+}
 
 // SimRuns returns how many simulations this runner actually executed —
 // memo and persistent-cache hits excluded. A second evaluation pass
@@ -412,21 +451,22 @@ func (r *Runner) result(cfg config.Config) sim.Result {
 	return res
 }
 
-// aloneIPC returns the alone IPC for one (benchmark, org) pair through
-// the memoized, cache-backed run path.
-func (r *Runner) aloneIPC(bench string, org dcache.Org) (float64, error) {
-	res, err := r.Run(r.aloneConfig(bench, org))
+// aloneIPC returns the alone IPC for one (benchmark, org) pair at
+// replicate k through the memoized, cache-backed run path.
+func (r *Runner) aloneIPC(bench string, org dcache.Org, k int) (float64, error) {
+	res, err := r.Run(replicateCfg(r.aloneConfig(bench, org), k))
 	if err != nil {
 		return 0, err
 	}
 	return res.IPC[0], nil
 }
 
-// aloneIPCs returns per-core alone IPCs for a mix under an organization.
-func (r *Runner) aloneIPCs(mix workload.Mix, org dcache.Org) ([]float64, error) {
+// aloneIPCs returns per-core alone IPCs for a mix under an organization
+// at replicate k.
+func (r *Runner) aloneIPCs(mix workload.Mix, org dcache.Org, k int) ([]float64, error) {
 	out := make([]float64, len(mix.Benchmarks))
 	for i, b := range mix.Benchmarks {
-		ipc, err := r.aloneIPC(b, org)
+		ipc, err := r.aloneIPC(b, org, k)
 		if err != nil {
 			return nil, err
 		}
@@ -436,15 +476,17 @@ func (r *Runner) aloneIPCs(mix workload.Mix, org dcache.Org) ([]float64, error) 
 }
 
 // aloneConfigs enumerates the alone runs behind every benchmark of the
-// runner's mixes under an organization.
-func (r *Runner) aloneConfigs(org dcache.Org) []config.Config {
+// runner's mixes under an organization, across reps replicates.
+func (r *Runner) aloneConfigs(org dcache.Org, reps int) []config.Config {
 	seen := map[string]bool{}
 	var cfgs []config.Config
 	for _, m := range r.mixes {
 		for _, b := range m.Benchmarks {
 			if !seen[b] {
 				seen[b] = true
-				cfgs = append(cfgs, r.aloneConfig(b, org))
+				for k := 0; k < reps; k++ {
+					cfgs = append(cfgs, replicateCfg(r.aloneConfig(b, org), k))
+				}
 			}
 		}
 	}
@@ -452,11 +494,18 @@ func (r *Runner) aloneConfigs(org dcache.Org) []config.Config {
 }
 
 // weightedSpeedup computes the weighted speedup of a memoized run over
-// the alone IPCs of its mix.
-func (r *Runner) weightedSpeedup(cfg config.Config, mix workload.Mix) (float64, error) {
-	alone, err := r.aloneIPCs(mix, cfg.Org)
+// the alone IPCs of its mix at replicate k. The shared and alone runs
+// use the same replicate index, so each replicate is an internally
+// consistent speedup measurement.
+func (r *Runner) weightedSpeedup(cfg config.Config, mix workload.Mix, k int) (float64, error) {
+	alone, err := r.aloneIPCs(mix, cfg.Org, k)
 	if err != nil {
 		return 0, err
 	}
-	return stats.WeightedSpeedup(r.result(cfg).IPC, alone), nil
+	ws, err := stats.WeightedSpeedup(r.result(cfg).IPC, alone)
+	if err != nil {
+		return 0, fmt.Errorf("exp: weighted speedup (%v/%v %v seed %d): %w",
+			cfg.Design, cfg.Org, cfg.Benchmarks, cfg.Seed, err)
+	}
+	return ws, nil
 }

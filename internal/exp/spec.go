@@ -25,6 +25,12 @@ type TableSpec struct {
 	PerMix  bool            `json:"perMix,omitempty"` // one row per mix plus a gmean summary (Figs. 10–11)
 	Rows    []RowSpec       `json:"rows"`
 	Cols    []ColSpec       `json:"cols"`
+
+	// Replicates, when > 1, fans every cell into that many seed-derived
+	// runs (config.ReplicateSeed) and renders mean ±CI95 cells. 0 defers
+	// to the runner's SetReplicates default; 0/1 both keep the
+	// single-run output bit-identical to the unreplicated engine.
+	Replicates int `json:"replicates,omitempty"`
 }
 
 // RowSpec is one table row: its label cells and the config patch shared
@@ -71,6 +77,22 @@ func (c ColSpec) validate(earlier map[string]bool) error {
 				return fmt.Errorf("exp: column %q: div references unknown column %q", c.Header, ref)
 			}
 		}
+		// A Div cell is derived purely from two earlier columns, so the
+		// run-driven fields are dead weight on it: a typoed agg/op/
+		// baseline or a stray metric would be silently ignored — the
+		// exact failure mode validate exists to prevent. Reject them.
+		switch {
+		case c.Metric != "":
+			return fmt.Errorf("exp: column %q: div columns take no metric (got %q)", c.Header, c.Metric)
+		case c.Agg != "":
+			return fmt.Errorf("exp: column %q: div columns take no aggregation (got %q)", c.Header, c.Agg)
+		case c.Op != "":
+			return fmt.Errorf("exp: column %q: div columns take no op (got %q)", c.Header, c.Op)
+		case c.Baseline != nil:
+			return fmt.Errorf("exp: column %q: div columns take no baseline", c.Header)
+		case len(c.Patch) != 0:
+			return fmt.Errorf("exp: column %q: div columns take no patch", c.Header)
+		}
 		switch c.Format {
 		case "", "pct0":
 			return nil
@@ -100,11 +122,18 @@ func (c ColSpec) validate(earlier map[string]bool) error {
 	return nil
 }
 
-// aggregate folds samples per the column spec.
+// aggregate folds samples per the column spec. A degenerate sample set
+// (a non-positive value under geomean) is reported as an error: it
+// reaches this at render time, after every simulation has completed, so
+// panicking here would escape runIsolated and take down the process.
 func (c ColSpec) aggregate(vals []float64) (float64, error) {
 	switch c.Agg {
 	case "geomean":
-		return stats.GeoMean(vals), nil
+		g, err := stats.GeoMean(vals)
+		if err != nil {
+			return 0, fmt.Errorf("exp: column %q: %w", c.Header, err)
+		}
+		return g, nil
 	case "mean", "":
 		return stats.Mean(vals), nil
 	}
@@ -133,6 +162,20 @@ func (c ColSpec) cell(v float64) (interface{}, error) {
 	return nil, fmt.Errorf("exp: column %q: unknown format %q", c.Header, c.Format)
 }
 
+// cellSample renders a replicated cell. The default format passes the
+// stats.Sample through so the table renders "mean ±CI" in text and
+// splits CSV/JSON columns; pct0 folds both numbers into one percentage
+// string (percentages stay a single column in every format).
+func (c ColSpec) cellSample(s stats.Sample) (interface{}, error) {
+	switch c.Format {
+	case "":
+		return s, nil
+	case "pct0":
+		return fmt.Sprintf("%.0f%% ±%.0f%%", 100*s.Mean, 100*s.CI), nil
+	}
+	return nil, fmt.Errorf("exp: column %q: unknown format %q", c.Header, c.Format)
+}
+
 // variant resolves the cell config of (row, col) and, when the column is
 // normalized, its baseline config.
 func (s TableSpec) variant(base config.Config, row RowSpec, col ColSpec) (cfg, bl config.Config, err error) {
@@ -150,12 +193,25 @@ func (s TableSpec) variant(base config.Config, row RowSpec, col ColSpec) (cfg, b
 }
 
 // Table evaluates a spec: it enumerates every run the grid needs
-// (cells, baselines, and the alone runs behind weighted speedups),
-// computes the missing ones in parallel through the memo and persistent
-// cache, and renders the table.
+// (cells, baselines, the alone runs behind weighted speedups, and every
+// seeded replicate of each), computes the missing ones in parallel
+// through the memo and persistent cache, and renders the table. With
+// more than one replicate each cell aggregates per replicate exactly as
+// the single-run engine would and then folds the per-replicate values
+// into a mean ±CI95 Sample.
 func (r *Runner) Table(spec TableSpec) (*stats.Table, error) {
 	if spec.PerMix && len(spec.Rows) != 1 {
 		return nil, fmt.Errorf("exp: %s: perMix wants exactly one row spec, got %d", spec.Name, len(spec.Rows))
+	}
+	if spec.Replicates < 0 {
+		return nil, fmt.Errorf("exp: %s: negative replicates %d", spec.Name, spec.Replicates)
+	}
+	reps := spec.Replicates
+	if reps == 0 {
+		reps = r.replicates
+	}
+	if reps < 1 {
+		reps = 1
 	}
 	earlier := map[string]bool{}
 	for _, col := range spec.Cols {
@@ -187,9 +243,11 @@ func (r *Runner) Table(spec TableSpec) (*stats.Table, error) {
 			}
 			grid[i][j] = cellVariant{cfg: cfg, bl: bl}
 			for _, m := range r.mixes {
-				need = append(need, mixConfig(cfg, r.base, m))
-				if col.Baseline != nil {
-					need = append(need, mixConfig(bl, r.base, m))
+				for k := 0; k < reps; k++ {
+					need = append(need, replicateCfg(mixConfig(cfg, r.base, m), k))
+					if col.Baseline != nil {
+						need = append(need, replicateCfg(mixConfig(bl, r.base, m), k))
+					}
 				}
 			}
 			if col.Metric == MetricWS {
@@ -210,17 +268,18 @@ func (r *Runner) Table(spec TableSpec) (*stats.Table, error) {
 	}
 	sort.Strings(orgNames)
 	for _, name := range orgNames {
-		need = append(need, r.aloneConfigs(aloneOrgs[name].Org)...)
+		need = append(need, r.aloneConfigs(aloneOrgs[name].Org, reps)...)
 	}
 	if err := r.Ensure(need); err != nil {
 		return nil, err
 	}
 
-	// sample extracts the per-mix metric value of a variant.
-	sample := func(col ColSpec, cfg config.Config, m workload.Mix) (float64, bool, error) {
-		run := mixConfig(cfg, r.base, m)
+	// sample extracts the per-mix metric value of a variant at one
+	// replicate index.
+	sample := func(col ColSpec, cfg config.Config, m workload.Mix, k int) (float64, bool, error) {
+		run := replicateCfg(mixConfig(cfg, r.base, m), k)
 		if col.Metric == MetricWS {
-			ws, err := r.weightedSpeedup(run, m)
+			ws, err := r.weightedSpeedup(run, m, k)
 			return ws, true, err
 		}
 		f, err := lookupMetric(col.Metric)
@@ -230,16 +289,17 @@ func (r *Runner) Table(spec TableSpec) (*stats.Table, error) {
 		v, ok := f(r.result(run))
 		return v, ok, nil
 	}
-	// samples collects the normalized per-mix series of one grid cell.
-	samples := func(col ColSpec, cv cellVariant) ([]float64, error) {
+	// samples collects the normalized per-mix series of one grid cell at
+	// one replicate index.
+	samples := func(col ColSpec, cv cellVariant, k int) ([]float64, error) {
 		var vals []float64
 		for _, m := range r.mixes {
-			v, ok, err := sample(col, cv.cfg, m)
+			v, ok, err := sample(col, cv.cfg, m, k)
 			if err != nil {
 				return nil, err
 			}
 			if col.Baseline != nil {
-				base, bok, err := sample(col, cv.bl, m)
+				base, bok, err := sample(col, cv.bl, m, k)
 				if err != nil {
 					return nil, err
 				}
@@ -259,34 +319,66 @@ func (r *Runner) Table(spec TableSpec) (*stats.Table, error) {
 		}
 		return vals, nil
 	}
+	// fold renders per-replicate aggregated values as a cell value: the
+	// single value at one replicate (bit-identical to the unreplicated
+	// engine), a mean ±CI95 Sample otherwise.
+	fold := func(col ColSpec, perRep []float64) (interface{}, error) {
+		if len(perRep) == 1 {
+			return col.cell(perRep[0])
+		}
+		return col.cellSample(stats.Summarize(perRep))
+	}
 
 	tbl := stats.NewTable(append(append([]string{}, spec.Headers...),
 		colHeaders(spec.Cols)...)...)
 
 	if spec.PerMix {
-		// One row per mix; cells are the raw per-mix samples, then a
-		// geomean summary row per column.
-		series := make([][]float64, len(spec.Cols))
+		// One row per mix; cells are the raw per-mix samples (folded
+		// across replicates), then a geomean summary row per column
+		// (geomean per replicate, then folded).
+		series := make([][][]float64, len(spec.Cols)) // [col][rep][mix]
 		for j, col := range spec.Cols {
-			vals, err := samples(col, grid[0][j])
-			if err != nil {
-				return nil, err
+			series[j] = make([][]float64, reps)
+			for k := 0; k < reps; k++ {
+				vals, err := samples(col, grid[0][j], k)
+				if err != nil {
+					return nil, err
+				}
+				if len(vals) != len(r.mixes) {
+					return nil, fmt.Errorf("exp: %s col %q: %d samples for %d mixes", spec.Name, col.Header, len(vals), len(r.mixes))
+				}
+				series[j][k] = vals
 			}
-			if len(vals) != len(r.mixes) {
-				return nil, fmt.Errorf("exp: %s col %q: %d samples for %d mixes", spec.Name, col.Header, len(vals), len(r.mixes))
-			}
-			series[j] = vals
 		}
+		perRep := make([]float64, reps)
 		for i, m := range r.mixes {
 			row := []interface{}{fmt.Sprintf("%d(%s)", m.ID, m.Benchmarks[0])}
 			for j := range spec.Cols {
-				row = append(row, series[j][i])
+				if reps == 1 {
+					row = append(row, series[j][0][i])
+					continue
+				}
+				for k := 0; k < reps; k++ {
+					perRep[k] = series[j][k][i]
+				}
+				row = append(row, stats.Summarize(perRep))
 			}
 			tbl.AddRowf(row...)
 		}
 		sum := []interface{}{"gmean"}
 		for j := range spec.Cols {
-			sum = append(sum, stats.GeoMean(series[j]))
+			for k := 0; k < reps; k++ {
+				g, err := stats.GeoMean(series[j][k])
+				if err != nil {
+					return nil, fmt.Errorf("exp: %s col %q gmean: %w", spec.Name, spec.Cols[j].Header, err)
+				}
+				perRep[k] = g
+			}
+			if reps == 1 {
+				sum = append(sum, perRep[0])
+			} else {
+				sum = append(sum, stats.Summarize(perRep))
+			}
 		}
 		tbl.AddRowf(sum...)
 		return tbl, nil
@@ -297,27 +389,57 @@ func (r *Runner) Table(spec TableSpec) (*stats.Table, error) {
 		for _, l := range rowSpec.Labels {
 			row = append(row, l)
 		}
-		agg := map[string]float64{}
+		// Per-replicate aggregated values by column header, for Div
+		// references; aggOK marks columns whose value is defined (a Div
+		// with a zero denominator is not). Both maps are only ever
+		// indexed by header, never ranged.
+		aggVals := map[string][]float64{}
+		aggOK := map[string]bool{}
 		for j, col := range spec.Cols {
-			var v float64
+			var perRep []float64
+			ok := true
 			if col.Div != nil {
-				num, nok := agg[col.Div[0]]
-				den, dok := agg[col.Div[1]]
+				num, nok := aggVals[col.Div[0]]
+				den, dok := aggVals[col.Div[1]]
 				if !nok || !dok {
 					return nil, fmt.Errorf("exp: %s col %q: div references unknown columns %v", spec.Name, col.Header, *col.Div)
 				}
-				v = num / den
-			} else {
-				vals, err := samples(col, grid[i][j])
-				if err != nil {
-					return nil, err
+				ok = aggOK[col.Div[0]] && aggOK[col.Div[1]]
+				for k := 0; ok && k < len(den); k++ {
+					// A zero denominator has no ratio; render "-" like
+					// the sweep engine does for missing metrics rather
+					// than passing NaN/Inf off as data.
+					if den[k] == 0 {
+						ok = false
+					}
 				}
-				if v, err = col.aggregate(vals); err != nil {
-					return nil, err
+				if ok {
+					perRep = make([]float64, len(num))
+					for k := range num {
+						perRep[k] = num[k] / den[k]
+					}
+				}
+			} else {
+				perRep = make([]float64, reps)
+				for k := 0; k < reps; k++ {
+					vals, err := samples(col, grid[i][j], k)
+					if err != nil {
+						return nil, err
+					}
+					v, err := col.aggregate(vals)
+					if err != nil {
+						return nil, fmt.Errorf("exp: %s row %v: %w", spec.Name, rowSpec.Labels, err)
+					}
+					perRep[k] = v
 				}
 			}
-			agg[col.Header] = v
-			cell, err := col.cell(v)
+			aggVals[col.Header] = perRep
+			aggOK[col.Header] = ok
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			cell, err := fold(col, perRep)
 			if err != nil {
 				return nil, err
 			}

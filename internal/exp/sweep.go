@@ -32,6 +32,13 @@ type SweepSpec struct {
 
 	Axes    []SweepAxis `json:"axes"`
 	Metrics []string    `json:"metrics"`
+
+	// Replicates, when > 1, fans every point into that many seed-derived
+	// runs (replicate k patches Seed to config.ReplicateSeed of the
+	// point's seed) and renders each metric cell as mean ±CI95. 0/1 keep
+	// the single-run output bit-identical to the unreplicated engine.
+	// SweepOpts.Replicates, when positive, overrides this.
+	Replicates int `json:"replicates,omitempty"`
 }
 
 // SweepAxis is one named dimension of the sweep.
@@ -88,6 +95,9 @@ func (s SweepSpec) Validate() error {
 	}
 	if len(s.Metrics) == 0 {
 		return fmt.Errorf("no metrics")
+	}
+	if s.Replicates < 0 {
+		return fmt.Errorf("negative replicates %d", s.Replicates)
 	}
 	for _, m := range s.Metrics {
 		if m == MetricWS {
@@ -164,6 +174,9 @@ type SweepOpts struct {
 	KeepGoing bool
 	// RunTimeout arms the per-run watchdog; <= 0 (the default) disables.
 	RunTimeout time.Duration
+	// Replicates, when > 0, overrides the spec's replicate count (the
+	// -seeds flag); 0 defers to spec.Replicates (default 1).
+	Replicates int
 }
 
 // RunSweep evaluates the spec: resolve the base config, enumerate the
@@ -206,21 +219,41 @@ func RunSweepOpts(spec SweepSpec, opts SweepOpts) (*stats.Table, *Runner, error)
 		return nil, nil, fmt.Errorf("exp: sweep base: %w", err)
 	}
 
+	reps := opts.Replicates
+	if reps == 0 {
+		reps = spec.Replicates
+	}
+	if reps < 1 {
+		reps = 1
+	}
+
 	points := spec.Points()
-	cfgs := make([]config.Config, len(points))
+	// cfgs[i][k] is replicate k of point i; replicate 0 is the point
+	// config itself, later replicates are ordinary Seed patches — so
+	// they content-address, cache, and deduplicate like any other run.
+	cfgs := make([][]config.Config, len(points))
+	need := make([]config.Config, 0, len(points)*reps)
 	for i, idx := range points {
-		if cfgs[i], err = spec.pointConfig(base, idx); err != nil {
+		cfgs[i] = make([]config.Config, reps)
+		if cfgs[i][0], err = spec.pointConfig(base, idx); err != nil {
 			return nil, nil, err
 		}
-		if err := cfgs[i].Validate(); err != nil {
+		if err := cfgs[i][0].Validate(); err != nil {
 			return nil, nil, fmt.Errorf("exp: sweep point %s: %w", spec.pointLabel(idx), err)
 		}
 		// Points run in parallel, so a shared RecordPath would have
 		// every run truncating (and, on failure, deleting) the same
 		// trace file mid-write.
-		if cfgs[i].RecordPath != "" {
+		if cfgs[i][0].RecordPath != "" {
 			return nil, nil, fmt.Errorf("exp: sweep point %s: RecordPath is not supported in sweeps (parallel points would overwrite one trace file)", spec.pointLabel(idx))
 		}
+		for k := 1; k < reps; k++ {
+			cfgs[i][k], err = cfgs[i][0].Patch(config.SeedPatch(config.ReplicateSeed(cfgs[i][0].Seed, k)))
+			if err != nil {
+				return nil, nil, fmt.Errorf("exp: sweep point %s replicate %d: %w", spec.pointLabel(idx), k, err)
+			}
+		}
+		need = append(need, cfgs[i]...)
 	}
 
 	r := NewRunner(base, nil, opts.Workers)
@@ -230,7 +263,7 @@ func RunSweepOpts(spec SweepSpec, opts SweepOpts) (*stats.Table, *Runner, error)
 	r.SetProgress(opts.Progress)
 	r.SetKeepGoing(opts.KeepGoing)
 	r.SetRunTimeout(opts.RunTimeout)
-	if err := r.Ensure(cfgs); err != nil {
+	if err := r.Ensure(need); err != nil {
 		return nil, r, err
 	}
 
@@ -240,18 +273,34 @@ func RunSweepOpts(spec SweepSpec, opts SweepOpts) (*stats.Table, *Runner, error)
 	}
 	header = append(header, spec.Metrics...)
 	tbl := stats.NewTable(header...)
+	vals := make([]float64, 0, reps)
 	for i, idx := range points {
-		res := r.result(cfgs[i])
 		row := make([]interface{}, 0, len(header))
 		for ai, v := range idx {
 			row = append(row, spec.Axes[ai].Values[v].Label)
 		}
 		for _, m := range spec.Metrics {
 			f, _ := lookupMetric(m)
-			if v, ok := f(res); ok {
-				row = append(row, v)
-			} else {
+			vals = vals[:0]
+			ok := true
+			for k := 0; ok && k < reps; k++ {
+				v, vok := f(r.result(cfgs[i][k]))
+				if !vok {
+					ok = false
+					break
+				}
+				vals = append(vals, v)
+			}
+			switch {
+			case !ok:
+				// A metric with no sample in any replicate renders "-":
+				// a partially sampled mean would not be comparable
+				// across rows.
 				row = append(row, "-")
+			case reps == 1:
+				row = append(row, vals[0])
+			default:
+				row = append(row, stats.Summarize(vals))
 			}
 		}
 		tbl.AddRowf(row...)

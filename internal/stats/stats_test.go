@@ -8,34 +8,47 @@ import (
 )
 
 func TestWeightedSpeedup(t *testing.T) {
-	ws := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	ws, err := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ws != 1.5 {
 		t.Fatalf("WS = %v, want 1.5", ws)
 	}
 }
 
-func TestWeightedSpeedupPanics(t *testing.T) {
-	for name, f := range map[string]func(){
-		"length mismatch": func() { WeightedSpeedup([]float64{1}, []float64{1, 2}) },
-		"zero alone":      func() { WeightedSpeedup([]float64{1}, []float64{0}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s did not panic", name)
-				}
-			}()
-			f()
-		}()
+// TestWeightedSpeedupErrors pins the de-panicked failure mode: degenerate
+// inputs reach WeightedSpeedup at table-render time, after the
+// simulations already ran, so they must surface as errors rather than
+// crash the process.
+func TestWeightedSpeedupErrors(t *testing.T) {
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch did not error")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero alone IPC did not error")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative alone IPC did not error")
 	}
 }
 
 func TestGeoMean(t *testing.T) {
-	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+	got, err := GeoMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-12 {
 		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
 	}
-	if GeoMean(nil) != 0 {
-		t.Fatal("GeoMean(nil) should be 0")
+	if g, err := GeoMean(nil); err != nil || g != 0 {
+		t.Fatalf("GeoMean(nil) = %v, %v, want 0, nil", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean with zero did not error")
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Error("GeoMean with negative did not error")
 	}
 }
 
@@ -47,7 +60,10 @@ func TestGeoMeanBounds(t *testing.T) {
 	fold := func(x float64) float64 { return math.Mod(math.Abs(x), 1e6) + 0.1 }
 	f := func(a, b, c float64) bool {
 		xs := []float64{fold(a), fold(b), fold(c)}
-		g := GeoMean(xs)
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
 		lo, hi := xs[0], xs[0]
 		for _, x := range xs {
 			lo, hi = math.Min(lo, x), math.Max(hi, x)
@@ -65,6 +81,95 @@ func TestMean(t *testing.T) {
 	}
 	if Mean(nil) != 0 {
 		t.Fatal("Mean(nil) should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Sample (n-1) standard deviation of {2,4,4,4,5,5,7,9} is
+	// sqrt(32/7).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+	if StdDev([]float64{42}) != 0 || StdDev(nil) != 0 {
+		t.Fatal("StdDev of fewer than two values should be 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// {1,2,3}: s = 1, n = 3, t_{0.975,2} = 4.303 -> 4.303/sqrt(3).
+	got := CI95([]float64{1, 2, 3})
+	want := 4.303 / math.Sqrt(3)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95({1,2,3}) = %v, want %v", got, want)
+	}
+	if CI95([]float64{5}) != 0 || CI95(nil) != 0 {
+		t.Fatal("CI95 of fewer than two values should be 0")
+	}
+	// Identical replicates have zero-width intervals.
+	if CI95([]float64{3, 3, 3, 3}) != 0 {
+		t.Fatal("CI95 of identical values should be 0")
+	}
+}
+
+// TestTCriticalMonotone pins the t-table: values decrease toward the
+// asymptotic normal quantile as degrees of freedom grow.
+func TestTCriticalMonotone(t *testing.T) {
+	prev := tCritical(1)
+	for df := 2; df <= 200; df++ {
+		cur := tCritical(df)
+		if cur > prev {
+			t.Fatalf("tCritical(%d) = %v > tCritical(%d) = %v", df, cur, df-1, prev)
+		}
+		prev = cur
+	}
+	if prev != 1.960 {
+		t.Fatalf("asymptotic tCritical = %v, want 1.960", prev)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Mean != 2 {
+		t.Fatalf("Summarize mean = %v, want 2", s.Mean)
+	}
+	if math.Abs(s.CI-4.303/math.Sqrt(3)) > 1e-9 {
+		t.Fatalf("Summarize CI = %v", s.CI)
+	}
+	if got := s.String(); got != "2.000 ±2.484" {
+		t.Fatalf("Sample.String() = %q", got)
+	}
+}
+
+// TestTableSampleRendering pins the three output forms of a Sample cell:
+// "mean ±ci" in text, and a split (value, value ci95) column pair in CSV
+// and JSON — with plain cells in the same column padded by an empty ci95
+// cell, and sample-free columns untouched.
+func TestTableSampleRendering(t *testing.T) {
+	tbl := NewTable("name", "value", "note")
+	tbl.AddRowf("a", Sample{Mean: 1.5, CI: 0.25}, "ok")
+	tbl.AddRowf("b", 2.0, "plain")
+	if got := tbl.Rows()[0][1]; got != "1.500 ±0.250" {
+		t.Fatalf("text cell = %q", got)
+	}
+
+	var csvOut strings.Builder
+	if err := tbl.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := "name,value,value ci95,note\na,1.500,0.250,ok\nb,2.000,,plain\n"
+	if csvOut.String() != wantCSV {
+		t.Fatalf("CSV = %q, want %q", csvOut.String(), wantCSV)
+	}
+
+	data, err := tbl.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `{"header":["name","value","value ci95","note"],"rows":[["a","1.500","0.250","ok"],["b","2.000","","plain"]]}`
+	if string(data) != wantJSON {
+		t.Fatalf("JSON = %s, want %s", data, wantJSON)
 	}
 }
 
