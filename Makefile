@@ -20,14 +20,16 @@
 #                     injection, the rescache crash/claim protocol
 #                     tests, and the exp panic/watchdog/keep-going and
 #                     SIGKILL-recovery tests (CI job)
-#   make fuzz-short - short fuzz pass over the trace decoder and the
-#                     result-cache reader (CI job)
+#   make fuzz-short - short fuzz pass over the trace decoder, the
+#                     result-cache reader, and the event kernel vs its
+#                     heap oracle (CI job)
 #   make sweep-smoke - run the example sweep spec end to end against the
 #                      persistent result cache (CI job)
 #   make bench-short - one pass over the substrate microbenchmarks and
 #                      one small figure benchmark, with allocation stats
-#   make bench-json  - run the scheduler-sensitive benchmarks (Fig8,
-#                      SimOneRun, ChannelIssue) with -benchmem and emit
+#   make bench-json  - run the guarded benchmarks (Fig8, SimOneRun,
+#                      ChannelIssue, and the three event-kernel
+#                      microbenchmarks) with -benchmem and emit
 #                      $(BENCH_OUT) (default BENCH_controller.json,
 #                      archived by CI per PR)
 #   make bench-gate  - re-run the guarded benchmarks and fail if they
@@ -84,14 +86,19 @@ faults:
 	$(GO) test -race -count=1 ./internal/cachefs ./internal/rescache
 	$(GO) test -race -count=1 -run 'Fault|Panic|Timeout|KeepGoing|Kill|CacheFS' ./internal/exp
 
-# Short fuzz pass over the byte-level readers: a malformed trace must
-# never panic the simulator, and an arbitrary cache entry must never be
-# trusted unless its envelope fully verifies (FuzzCacheGet re-checks
-# every accepted entry against an independent oracle). Seed corpora live
-# in internal/{trace,rescache}/testdata/fuzz; CI archives grown corpora.
+# Short fuzz pass over the byte-level readers and the event kernel: a
+# malformed trace must never panic the simulator, an arbitrary cache
+# entry must never be trusted unless its envelope fully verifies
+# (FuzzCacheGet re-checks every accepted entry against an independent
+# oracle), and an arbitrary op program must drive the timing wheel and
+# the retired 4-ary heap to the exact same dispatch sequence
+# (FuzzEngineOps). Seed corpora live in
+# internal/{trace,rescache,event}/testdata/fuzz; CI archives grown
+# corpora.
 fuzz-short:
 	$(GO) test ./internal/trace -run '^$$' -fuzz 'FuzzDecoder' -fuzztime 30s
 	$(GO) test ./internal/rescache -run '^$$' -fuzz 'FuzzCacheGet' -fuzztime 30s
+	$(GO) test ./internal/event -run '^$$' -fuzz 'FuzzEngineOps' -fuzztime 30s
 
 # End-to-end sweep smoke: evaluate the example declarative spec at the
 # test scale through the persistent result cache (CI restores the cache
@@ -106,10 +113,12 @@ bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkEventEngine|BenchmarkChannelIssue|BenchmarkWorkloadGen' -benchmem -benchtime 0.2s .
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8$$|BenchmarkSimOneRun' -benchmem -benchtime 1x .
 
-# Controller perf trajectory: the three benchmarks the scheduler rework
-# targets, emitted as JSON so CI diffs are machine-readable. Fig8 runs few
-# iterations (it is a whole-evaluation sweep); the cheaper benchmarks run
-# more for stability.
+# Perf trajectory: the whole-run benchmarks the scheduler and event-
+# kernel reworks target, plus the event microbenchmarks that isolate
+# each wheel regime (uniform cascade, DRAM-clustered fast path,
+# far-future spill), emitted as JSON so CI diffs are machine-readable.
+# Fig8 runs few iterations (it is a whole-evaluation sweep); the
+# cheaper benchmarks run more for stability.
 # Each run appends to a scratch file and failures abort the target (no
 # pipeline, so a failing benchmark cannot hide behind benchjson's exit).
 bench-json:
@@ -117,6 +126,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8$$' -benchmem -benchtime 2x . >> bench_controller.out
 	$(GO) test -run '^$$' -bench 'BenchmarkSimOneRun$$' -benchmem -benchtime 20x . >> bench_controller.out
 	$(GO) test -run '^$$' -bench 'BenchmarkChannelIssue$$' -benchmem -benchtime 0.2s . >> bench_controller.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEventUniform$$|BenchmarkEventDRAMClustered$$|BenchmarkEventSpill$$' -benchmem -benchtime 0.2s . >> bench_controller.out
 	$(GO) run ./cmd/benchjson < bench_controller.out > $(BENCH_OUT)
 	@rm -f bench_controller.out
 	@cat $(BENCH_OUT)

@@ -11,6 +11,7 @@ import (
 	"dcasim/internal/dram"
 	"dcasim/internal/event"
 	"dcasim/internal/exp"
+	"dcasim/internal/simtime"
 	"dcasim/internal/stats"
 	"dcasim/internal/workload"
 )
@@ -254,6 +255,62 @@ func BenchmarkEventEngine(b *testing.B) {
 		}
 	}
 	eng.Run()
+}
+
+// benchEventDeltas schedules bursts of 64 events at the given delta
+// menu and drains between bursts — the schedule/fire rhythm the
+// simulator itself produces. Each menu targets one regime of the
+// timing wheel (see internal/event/wheel.go).
+func benchEventDeltas(b *testing.B, deltas []simtime.Time) {
+	var eng event.Engine
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(deltas[i%len(deltas)], fn)
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// benchUniformDeltas spreads schedules uniformly across the inner two
+// wheel levels (up to ~1 µs), so pops regularly cascade level-1
+// buckets down to level 0.
+var benchUniformDeltas = func() []simtime.Time {
+	d := make([]simtime.Time, 1024)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range d {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		d[i] = simtime.Time(x%(1<<20) + 1)
+	}
+	return d
+}()
+
+// BenchmarkEventUniform measures the cascade-heavy regime: uniform
+// deltas spanning levels 0–1.
+func BenchmarkEventUniform(b *testing.B) { benchEventDeltas(b, benchUniformDeltas) }
+
+// BenchmarkEventDRAMClustered measures the regime the characterization
+// test (internal/sim) shows real runs live in: deltas drawn from the
+// fixed DRAM timing constants, all inside the level-0 window, so
+// nearly every schedule is a direct O(1) bucket append.
+func BenchmarkEventDRAMClustered(b *testing.B) {
+	benchEventDeltas(b, []simtime.Time{
+		250, 1670, 3330, 5000, 7500, 8000, 11330, 15000, 27330, 30000, 50000,
+	})
+}
+
+// BenchmarkEventSpill measures the far-future overflow path: deltas
+// beyond the outermost wheel level land in the sorted spill and are
+// refilled back into the wheel when the clock approaches them.
+func BenchmarkEventSpill(b *testing.B) {
+	benchEventDeltas(b, []simtime.Time{
+		1 << 41, 1<<41 + 512, 3 << 40, 1<<41 + 3*256, 1 << 42,
+	})
 }
 
 func BenchmarkWorkloadGen(b *testing.B) {

@@ -1,0 +1,203 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcasim/internal/simtime"
+)
+
+// engineAPI is the surface the differential and fuzz harnesses drive on
+// both the production Engine (timing wheel) and the refEngine (retired
+// 4-ary heap oracle).
+type engineAPI interface {
+	Now() simtime.Time
+	Steps() uint64
+	Pending() int
+	PeekTime() (simtime.Time, bool)
+	Schedule(t simtime.Time, h Handler, p Payload)
+	ScheduleAfter(d simtime.Time, h Handler, p Payload)
+	Step() bool
+	RunUntil(t simtime.Time)
+}
+
+var (
+	_ engineAPI = (*Engine)(nil)
+	_ engineAPI = (*refEngine)(nil)
+)
+
+// fired is one observed dispatch.
+type fired struct {
+	at  simtime.Time
+	tag uint64
+}
+
+// splitmix64 is the deterministic bit mixer the chaos handler uses to
+// derive follow-up work from its payload, so both engines replay the
+// exact same nested-scheduling cascade.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chaosDeltas is the schedule-delta menu: the Table II DRAM constants
+// (in ps), the 4 GHz CPU cycle, the off-chip latency, exact
+// wheel-bucket and wheel-level boundaries, zero (same-time), and
+// far-future values that overflow into the spill.
+var chaosDeltas = []simtime.Time{
+	0, 1, 250, 1670, 3330, 5000, 7500, 8000, 15000, 30000, 50000,
+	255, 256, 257, 65535, 65536, 65537, // level-0 bucket and level-0→1 boundaries
+	1 << 24, 1<<24 + 1, 1 << 32, 1<<32 - 1, // level-1→2, level-2→3 boundaries
+	1 << 40, 1<<40 + 7, 1 << 45, // beyond the outermost level: spill
+}
+
+// chaosHandler records every dispatch and deterministically schedules
+// follow-up events derived from its payload, exercising the
+// schedule-while-firing paths (same-time bursts included) on both
+// engines identically.
+type chaosHandler struct {
+	e   engineAPI
+	log []fired
+}
+
+func (h *chaosHandler) OnEvent(now simtime.Time, p Payload) {
+	h.log = append(h.log, fired{at: now, tag: p.U64})
+	x := splitmix64(p.U64)
+	switch x % 8 {
+	case 0: // one follow-up at a menu delta
+		d := chaosDeltas[(x>>8)%uint64(len(chaosDeltas))]
+		h.e.Schedule(now+d, h, Payload{U64: x})
+	case 1: // same-time burst scheduled from inside a running event
+		for i := uint64(0); i < 3; i++ {
+			h.e.Schedule(now, h, Payload{U64: x + i})
+		}
+	case 2: // a pair straddling a bucket boundary
+		h.e.ScheduleAfter(simtime.Time(x%512), h, Payload{U64: x ^ 1})
+	}
+}
+
+// runScript drives e through a deterministic op script derived from
+// seed and returns the full dispatch log.
+func runScript(e engineAPI, h *chaosHandler, seed int64, t *testing.T) []fired {
+	rnd := rand.New(rand.NewSource(seed))
+	h.e = e
+	for op := 0; op < 2000; op++ {
+		switch rnd.Intn(10) {
+		case 0, 1, 2, 3: // schedule at a menu delta
+			d := chaosDeltas[rnd.Intn(len(chaosDeltas))]
+			e.Schedule(e.Now()+d, h, Payload{U64: uint64(op)})
+		case 4: // schedule at a uniform delta
+			e.ScheduleAfter(simtime.Time(rnd.Int63n(200_000)), h, Payload{U64: uint64(op) | 1<<32})
+		case 5: // same-time burst
+			for i := 0; i < rnd.Intn(6)+1; i++ {
+				e.Schedule(e.Now(), h, Payload{U64: uint64(op)<<8 | uint64(i) | 1<<33})
+			}
+		case 6: // a few steps
+			for i := rnd.Intn(4); i >= 0; i-- {
+				e.Step()
+			}
+		case 7: // bounded run, sometimes a huge clock jump
+			d := simtime.Time(rnd.Int63n(100_000))
+			if rnd.Intn(10) == 0 {
+				d = simtime.Time(rnd.Int63n(1 << 42))
+			}
+			e.RunUntil(e.Now() + d)
+		case 8: // drain a chunk
+			for i := 0; i < 50 && e.Step(); i++ {
+			}
+		case 9: // schedule far future then peek
+			e.ScheduleAfter(simtime.Time(rnd.Int63n(1<<43)), h, Payload{U64: uint64(op) | 1<<34})
+			if _, ok := e.PeekTime(); !ok {
+				t.Fatalf("seed %d op %d: PeekTime empty right after scheduling", seed, op)
+			}
+		}
+	}
+	// Drain everything, capping runaway self-scheduling cascades.
+	for i := 0; i < 200_000 && e.Step(); i++ {
+	}
+	return h.log
+}
+
+// TestDifferentialVsHeapOracle proves pop-order identity: the timing
+// wheel dispatches the exact same (time, payload) sequence as the
+// retired 4-ary heap for randomized schedules covering same-time
+// bursts, nested scheduling, bucket boundaries, huge RunUntil jumps,
+// and far-future spill traffic.
+func TestDifferentialVsHeapOracle(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		var wheelEng Engine
+		refEng := &refEngine{}
+		wh := &chaosHandler{}
+		rh := &chaosHandler{}
+		wlog := runScript(&wheelEng, wh, seed, t)
+		rlog := runScript(refEng, rh, seed, t)
+		if len(wlog) != len(rlog) {
+			t.Fatalf("seed %d: wheel fired %d events, heap oracle %d", seed, len(wlog), len(rlog))
+		}
+		for i := range wlog {
+			if wlog[i] != rlog[i] {
+				t.Fatalf("seed %d: dispatch %d diverged: wheel %+v, heap oracle %+v", seed, i, wlog[i], rlog[i])
+			}
+		}
+		if wheelEng.Now() != refEng.Now() || wheelEng.Steps() != refEng.Steps() || wheelEng.Pending() != refEng.Pending() {
+			t.Fatalf("seed %d: final state diverged: wheel (now %v, steps %d, pending %d) vs heap (now %v, steps %d, pending %d)",
+				seed, wheelEng.Now(), wheelEng.Steps(), wheelEng.Pending(), refEng.Now(), refEng.Steps(), refEng.Pending())
+		}
+	}
+}
+
+// TestQueueDifferential drives the two queue implementations directly
+// through the shared interface with identical pools: interleaved pushes
+// and pops (including heavy same-timestamp collisions) must yield
+// identical index sequences, and peek must always agree.
+func TestQueueDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		var pool []node
+		var seq uint64
+		queues := []queue{&wheel{}, &refHeap{}}
+		var popped [2][]int32
+		for op := 0; op < 5000; op++ {
+			if rnd.Intn(3) > 0 || queues[0].size() == 0 {
+				seq++
+				at := simtime.Time(rnd.Int63n(50)) * 256 * simtime.Time(rnd.Intn(4)+1)
+				pool = append(pool, node{at: at, seq: seq})
+				idx := int32(len(pool) - 1)
+				for _, q := range queues {
+					q.push(pool, idx)
+				}
+			} else {
+				for qi, q := range queues {
+					idx, ok := q.pop(pool)
+					if !ok {
+						t.Fatalf("seed %d op %d: queue %d empty at size %d", seed, op, qi, q.size())
+					}
+					popped[qi] = append(popped[qi], idx)
+				}
+			}
+			wt, wok := queues[0].peek(pool)
+			ht, hok := queues[1].peek(pool)
+			if wt != ht || wok != hok {
+				t.Fatalf("seed %d op %d: peek diverged: wheel (%v,%v) heap (%v,%v)", seed, op, wt, wok, ht, hok)
+			}
+			if queues[0].size() != queues[1].size() {
+				t.Fatalf("seed %d op %d: size diverged: %d vs %d", seed, op, queues[0].size(), queues[1].size())
+			}
+		}
+		for queues[0].size() > 0 {
+			for qi, q := range queues {
+				idx, _ := q.pop(pool)
+				popped[qi] = append(popped[qi], idx)
+			}
+		}
+		for i := range popped[0] {
+			if popped[0][i] != popped[1][i] {
+				a, b := &pool[popped[0][i]], &pool[popped[1][i]]
+				t.Fatalf("seed %d: pop %d diverged: wheel idx %d (at %v seq %d), heap idx %d (at %v seq %d)",
+					seed, i, popped[0][i], a.at, a.seq, popped[1][i], b.at, b.seq)
+			}
+		}
+	}
+}

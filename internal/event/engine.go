@@ -1,20 +1,31 @@
 // Package event implements the discrete-event simulation kernel.
 //
-// The kernel is a 4-ary min-heap of (time, sequence) keys over a pool of
-// event records. Events scheduled for the same timestamp fire in the
-// order they were scheduled, which makes whole-simulation behaviour
-// exactly reproducible run to run. The kernel is single-threaded by
-// design: determinism of an architectural simulation is worth far more
-// than intra-run parallelism, and the harness instead parallelises
-// across independent simulations.
+// The kernel is a hierarchical timing wheel (Varghese & Lauck '87) over
+// a pool of event records, specialised for the access pattern of a DRAM
+// timing simulation: almost every scheduled delta is one of a handful
+// of fixed timing constants (tCAS, tRCD, tRP, tWR, the CPU cycle…), so
+// nearly all events land in the wheel's innermost level and schedule
+// and pop in O(1) amortized — versus the O(log n) sift loops of the
+// retired 4-ary heap, which survives only as a test oracle (see
+// wheel.go for the structure and the determinism argument, and
+// oracle_test.go for the differential proof).
+//
+// Events scheduled for the same timestamp fire in the order they were
+// scheduled — pop order is the strict total order (time, sequence) —
+// which makes whole-simulation behaviour exactly reproducible run to
+// run. The kernel is single-threaded by design: determinism of an
+// architectural simulation is worth far more than intra-run
+// parallelism, and the harness instead parallelises across independent
+// simulations.
 //
 // Scheduling is allocation-free in steady state. Instead of a fresh
 // closure per event, an event record pairs a Handler (typically the
 // simulated component itself, a long-lived pointer) with a small inline
 // Payload the handler uses to recover the event's context. Records live
-// in a pool indexed by the heap and are recycled through a free list, so
-// once the pool, free list, and heap slices reach their high-water marks
-// the kernel performs no per-event heap allocation at all.
+// in a pool indexed by the wheel and are recycled through a free list,
+// and every wheel bucket, the firing batch, and the far-future spill
+// are reused int32 slices — once they reach their high-water marks the
+// kernel performs no per-event heap allocation at all.
 package event
 
 import (
@@ -82,13 +93,33 @@ type thunkHandler struct{}
 
 func (thunkHandler) OnEvent(_ simtime.Time, p Payload) { p.Ptr.(func())() }
 
-// node is one pooled event record.
+// node is one pooled event record. next threads the record into its
+// wheel bucket's intrusive FIFO list (meaningful only while the record
+// is linked into a bucket; see wheel.go).
 type node struct {
-	at  simtime.Time
-	seq uint64
-	h   Handler
-	p   Payload
+	at   simtime.Time
+	seq  uint64
+	next int32
+	h    Handler
+	p    Payload
 }
+
+// queue is the scheduling structure contract shared by the production
+// timing wheel and the retired 4-ary heap, which lives on as a
+// test-only reference implementation (oracle_test.go): push/pop in
+// strict (time, sequence) order over records held in an external pool.
+// The Engine calls the wheel concretely — the interface exists so the
+// differential and fuzz tests can drive both implementations through
+// one harness, the same retired-oracle pattern the controller rework
+// used for its linear-scan scheduler.
+type queue interface {
+	push(pool []node, idx int32)
+	pop(pool []node) (int32, bool)
+	peek(pool []node) (simtime.Time, bool)
+	size() int
+}
+
+var _ queue = (*wheel)(nil)
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
 type Engine struct {
@@ -96,14 +127,17 @@ type Engine struct {
 	seq   uint64
 	steps uint64
 
-	// pool holds event records; heap orders indices into it by
+	// hook, when set, observes every Schedule (test instrumentation).
+	hook func(now, at simtime.Time)
+
+	// pool holds event records; wh orders indices into it by
 	// (time, sequence); free recycles retired indices. int32 indices
-	// halve the heap's cache footprint versus pointers and are ample:
+	// halve the wheel's cache footprint versus pointers and are ample:
 	// two billion simultaneously pending events would exhaust memory
 	// long before the index space.
 	pool []node
-	heap []int32
 	free []int32
+	wh   wheel
 }
 
 // Now returns the current simulated time.
@@ -113,7 +147,20 @@ func (e *Engine) Now() simtime.Time { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.wh.size() }
+
+// PeekTime returns the timestamp of the earliest pending event, or
+// false if the queue is empty. It never fires events or advances the
+// clock (it may rotate the wheel internally, which is unobservable).
+//
+//dcalint:noalloc
+func (e *Engine) PeekTime() (simtime.Time, bool) { return e.wh.peek(e.pool) }
+
+// SetScheduleHook installs fn to observe (now, t) at every Schedule
+// call, or removes the hook when fn is nil. This is test
+// instrumentation (e.g. the event-delta characterization test); the
+// hook must not schedule events itself.
+func (e *Engine) SetScheduleHook(fn func(now, at simtime.Time)) { e.hook = fn }
 
 // Schedule queues h to fire at absolute time t with payload p.
 // Scheduling in the past is a programming error and panics: silently
@@ -124,10 +171,13 @@ func (e *Engine) Schedule(t simtime.Time, h Handler, p Payload) {
 	if t < e.now {
 		panic(fmt.Sprintf("event: schedule at %v before now %v", t, e.now))
 	}
+	if e.hook != nil {
+		e.hook(e.now, t)
+	}
 	e.seq++
 	idx := e.alloc()
 	e.pool[idx] = node{at: t, seq: e.seq, h: h, p: p}
-	e.push(idx)
+	e.wh.push(e.pool, idx)
 }
 
 // ScheduleAfter queues h to fire d after the current time.
@@ -168,10 +218,10 @@ func (e *Engine) After(d simtime.Time, fn func()) { e.At(e.now+d, fn) }
 //
 //dcalint:noalloc
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	idx, ok := e.wh.pop(e.pool)
+	if !ok {
 		return false
 	}
-	idx := e.pop()
 	n := e.pool[idx]
 	// Release the record before dispatch: the handler may schedule new
 	// events, and reusing this slot immediately keeps the pool minimal.
@@ -196,7 +246,11 @@ func (e *Engine) Run() {
 //
 //dcalint:noalloc
 func (e *Engine) RunUntil(t simtime.Time) {
-	for len(e.heap) > 0 && e.pool[e.heap[0]].at <= t {
+	for {
+		at, ok := e.PeekTime()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if t > e.now {
@@ -221,68 +275,4 @@ func (e *Engine) alloc() int32 {
 	}
 	e.pool = append(e.pool, node{})
 	return int32(len(e.pool) - 1)
-}
-
-// less orders pool records by (time, sequence): strict total order, so
-// heap pop order is independent of the heap's internal layout.
-//
-//dcalint:noalloc
-func (e *Engine) less(a, b int32) bool {
-	na, nb := &e.pool[a], &e.pool[b]
-	if na.at != nb.at {
-		return na.at < nb.at
-	}
-	return na.seq < nb.seq
-}
-
-// The heap is 4-ary: children of slot i live at 4i+1..4i+4. Compared to
-// a binary heap this halves the tree depth paid on every sift-up and
-// fits each node's children in one cache line of int32 indices, which
-// matters because the heap is touched twice per simulated event.
-
-//dcalint:noalloc
-func (e *Engine) push(idx int32) {
-	e.heap = append(e.heap, idx)
-	i := len(e.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !e.less(e.heap[i], e.heap[parent]) {
-			break
-		}
-		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
-		i = parent
-	}
-}
-
-//dcalint:noalloc
-func (e *Engine) pop() int32 {
-	h := e.heap
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	e.heap = h[:n]
-	h = e.heap
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		smallest := i
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first; c < last; c++ {
-			if e.less(h[c], h[smallest]) {
-				smallest = c
-			}
-		}
-		if smallest == i {
-			break
-		}
-		h[i], h[smallest] = h[smallest], h[i]
-		i = smallest
-	}
-	return top
 }

@@ -105,6 +105,48 @@ func TestRunFor(t *testing.T) {
 	}
 }
 
+func TestPeekTime(t *testing.T) {
+	var e Engine
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime on an empty engine reported an event")
+	}
+	e.At(300, func() {})
+	e.At(100, func() {})
+	e.At(100, func() {})
+	if at, ok := e.PeekTime(); !ok || at != 100 {
+		t.Fatalf("PeekTime = (%v, %v), want (100, true)", at, ok)
+	}
+	e.Step()
+	if at, ok := e.PeekTime(); !ok || at != 100 {
+		t.Fatalf("after one step PeekTime = (%v, %v), want (100, true)", at, ok)
+	}
+	e.Step()
+	if at, ok := e.PeekTime(); !ok || at != 300 {
+		t.Fatalf("after two steps PeekTime = (%v, %v), want (300, true)", at, ok)
+	}
+	// Peek must not advance the clock or consume the event.
+	if e.Now() != 100 || e.Pending() != 1 {
+		t.Fatalf("PeekTime mutated state: now=%v pending=%d", e.Now(), e.Pending())
+	}
+	e.Run()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime after drain reported an event")
+	}
+}
+
+func TestPeekTimeAcrossLevels(t *testing.T) {
+	// Earliest event visible through PeekTime no matter which wheel
+	// level — or the far-future spill — holds it.
+	for _, at := range []simtime.Time{1, 1 << 10, 1 << 20, 1 << 30, 1 << 41} {
+		var e Engine
+		e.At(1<<42, func() {}) // spill resident
+		e.At(at, func() {})
+		if got, ok := e.PeekTime(); !ok || got != at {
+			t.Fatalf("PeekTime = (%v, %v), want (%v, true)", got, ok, at)
+		}
+	}
+}
+
 func TestHeapRandomized(t *testing.T) {
 	// Property: events fire in nondecreasing time order regardless of
 	// insertion order, including events inserted while running.

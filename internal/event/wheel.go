@@ -1,0 +1,360 @@
+package event
+
+import (
+	"math/bits"
+
+	"dcasim/internal/simtime"
+)
+
+// The wheel is a hierarchical timing wheel (Varghese & Lauck '87; the
+// hierarchical refinement of Brown's calendar queue). Time is divided
+// into power-of-two buckets at wheelLevels granularities: level l
+// buckets span 2^(wheelShift0 + l*wheelBits) ps, and each level holds
+// wheelBuckets of them, so level l covers the next
+// 2^(wheelShift0 + (l+1)*wheelBits) ps beyond the drain horizon.
+//
+// With wheelShift0 = 8 and wheelBits = 8 the levels cover, relative to
+// the horizon:
+//
+//	level 0:  256 ps buckets ≈ one 4 GHz CPU cycle, range ≈ 65.5 ns —
+//	          every Table II DRAM constant (tRCD/tCAS/tRP 8 ns,
+//	          tRAS 30 ns, tWR 15 ns, turnarounds, bursts) and the
+//	          off-chip latency (50 ns) schedule directly here in O(1)
+//	level 1:  ≈ 65.5 ns buckets, range ≈ 16.8 µs
+//	level 2:  ≈ 16.8 µs buckets, range ≈ 4.3 ms
+//	level 3:  ≈ 4.3 ms buckets, range ≈ 1.1 s
+//
+// Deltas beyond level 3 — which no simulated component produces — park
+// in a small (time, seq)-sorted spill slice and re-enter the wheel when
+// the horizon approaches them.
+//
+// Buckets are intrusive FIFO lists threaded through the record pool's
+// next links (head/tail index pairs per bucket), so filing, cascading,
+// and draining never allocate: a record moves between buckets by
+// relinking, and the only growable storage — the firing batch and the
+// spill — is a pair of reused int32 slices.
+//
+// # Determinism
+//
+// Pop order must be the strict total order (time, seq) — bit-identical
+// to the retired 4-ary heap. Buckets are FIFO and a bucket can hold
+// events of different timestamps (and, after a cascade interleaves with
+// direct schedules, even locally out of seq order), so ordering is
+// enforced at one place: draining. The next level-0 bucket to expire is
+// insertion-sorted into cur, the firing batch, which is kept sorted by
+// (time, seq); events scheduled below the drain horizon while the batch
+// fires are ordered-inserted into it. Since bucket FIFO order is
+// nearly sorted already (seq grows monotonically), the insertion sort
+// is near-linear. Everything earlier than the horizon is in cur or has
+// fired; everything at or beyond it is in a bucket whose start is ≥ the
+// horizon, or in the spill — so the cur head is always the global
+// minimum. Cascades relocate whole buckets to finer levels without
+// firing anything, and the drain loop always relocates the
+// smallest-start bucket first (ties go to the coarser level, and the
+// spill beats both), so no bucket is ever drained while an earlier or
+// equal-time event hides at a coarser level.
+const (
+	wheelLevels  = 4
+	wheelBits    = 8 // log2 buckets per level
+	wheelBuckets = 1 << wheelBits
+	bucketMask   = wheelBuckets - 1
+	bucketWords  = wheelBuckets / 64
+	wheelShift0  = 8 // level-0 bucket width 2^8 ps = 256 ps
+)
+
+// levelShift returns the bucket-width shift of level l.
+func levelShift(l int) uint { return wheelShift0 + uint(l)*wheelBits }
+
+// wheelLevel is one ring of buckets. A bucket is the intrusive FIFO
+// list pool[head[b]] → … → pool[tail[b]] linked through node.next; occ
+// is the occupancy bitmap — the source of truth for emptiness (head and
+// tail are stale while a bucket's bit is clear) — so the drain loop
+// finds the next expiring bucket with a handful of word scans instead
+// of walking the ring.
+type wheelLevel struct {
+	count int
+	occ   [bucketWords]uint64
+	head  [wheelBuckets]int32
+	tail  [wheelBuckets]int32
+}
+
+// firstFrom returns the masked index of the first occupied bucket at
+// circular distance >= 0 from the masked position pos, or -1 if the
+// level is empty. Because every live bucket lies within one window of
+// the drain cursor, circular order from the cursor is absolute order.
+//
+//dcalint:noalloc
+func (lv *wheelLevel) firstFrom(pos int) int {
+	w0 := pos >> 6
+	if x := lv.occ[w0] >> uint(pos&63); x != 0 {
+		return pos + bits.TrailingZeros64(x)
+	}
+	for i := 1; i <= bucketWords; i++ {
+		w := (w0 + i) & (bucketWords - 1)
+		if x := lv.occ[w]; x != 0 {
+			return w<<6 + bits.TrailingZeros64(x)
+		}
+	}
+	return -1
+}
+
+// wheel is the production queue implementation. The zero value is
+// ready to use. All ordering comparisons read (at, seq) from the
+// caller-owned record pool, so the structure itself stores nothing but
+// int32 indices.
+type wheel struct {
+	// horizon is the drain frontier: every event with at < horizon has
+	// been moved into cur (or already fired); every event with
+	// at >= horizon is in a level bucket or the spill. Bucket windows
+	// are positioned relative to horizon >> levelShift(l).
+	horizon simtime.Time
+
+	// cur is the firing batch, sorted ascending by (at, seq);
+	// cur[:curHead] has already popped. Late arrivals below the horizon
+	// ordered-insert here.
+	cur     []int32
+	curHead int
+
+	// spill parks events beyond the outermost level, sorted ascending
+	// by (at, seq). The characterization test pins that real workloads
+	// essentially never reach it.
+	spill []int32
+
+	count  int // total live events (cur tail + levels + spill)
+	levels [wheelLevels]wheelLevel
+}
+
+// size implements queue.
+func (w *wheel) size() int { return w.count }
+
+// push files record idx (already written into pool) into the batch, a
+// bucket, or the spill.
+//
+//dcalint:noalloc
+func (w *wheel) push(pool []node, idx int32) {
+	at := pool[idx].at
+	if w.count == 0 {
+		// Empty queue: snap the horizon forward to the event's own
+		// level-0 bucket so a long RunUntil jump doesn't force the
+		// first new event through a chain of cascades.
+		if snap := simtime.Time(int64(at) &^ (1<<wheelShift0 - 1)); snap > w.horizon {
+			w.horizon = snap
+		}
+	}
+	w.count++
+	if at < w.horizon {
+		w.insertCur(pool, idx)
+		return
+	}
+	w.place(pool, idx)
+}
+
+// place files idx into the finest level whose window reaches its
+// timestamp, or the spill when none does.
+//
+//dcalint:noalloc
+func (w *wheel) place(pool []node, idx int32) {
+	at := int64(pool[idx].at)
+	h := int64(w.horizon)
+	for l := 0; l < wheelLevels; l++ {
+		s := levelShift(l)
+		slot := at >> s
+		if slot-(h>>s) < wheelBuckets {
+			lv := &w.levels[l]
+			b := int(slot & bucketMask)
+			word, bit := b>>6, uint64(1)<<uint(b&63)
+			if lv.occ[word]&bit == 0 {
+				lv.occ[word] |= bit
+				lv.head[b] = idx
+			} else {
+				pool[lv.tail[b]].next = idx
+			}
+			lv.tail[b] = idx
+			lv.count++
+			return
+		}
+	}
+	w.insertSpill(pool, idx)
+}
+
+// insertCur ordered-inserts idx into the firing batch. New arrivals
+// carry the largest seq so far, so the backwards walk from the tail
+// stops at the first event with an earlier-or-equal timestamp —
+// usually immediately.
+//
+//dcalint:noalloc
+func (w *wheel) insertCur(pool []node, idx int32) {
+	w.cur = append(w.cur, idx)
+	i := len(w.cur) - 1
+	n := &pool[idx]
+	for i > w.curHead {
+		p := &pool[w.cur[i-1]]
+		if p.at < n.at || (p.at == n.at && p.seq < n.seq) {
+			break
+		}
+		w.cur[i] = w.cur[i-1]
+		i--
+	}
+	w.cur[i] = idx
+}
+
+// insertSpill ordered-inserts idx into the far-future spill
+// (binary search + shift; the spill is expected to stay tiny).
+//
+//dcalint:noalloc
+func (w *wheel) insertSpill(pool []node, idx int32) {
+	n := &pool[idx]
+	lo, hi := 0, len(w.spill)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := &pool[w.spill[mid]]
+		if m.at < n.at || (m.at == n.at && m.seq < n.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	w.spill = append(w.spill, 0)
+	copy(w.spill[lo+1:], w.spill[lo:])
+	w.spill[lo] = idx
+}
+
+// peek implements queue: the earliest pending (time, seq) event's
+// timestamp, without popping it.
+//
+//dcalint:noalloc
+func (w *wheel) peek(pool []node) (simtime.Time, bool) {
+	if !w.ensureCur(pool) {
+		return 0, false
+	}
+	return pool[w.cur[w.curHead]].at, true
+}
+
+// pop implements queue: remove and return the earliest (time, seq)
+// record index.
+//
+//dcalint:noalloc
+func (w *wheel) pop(pool []node) (int32, bool) {
+	if !w.ensureCur(pool) {
+		return 0, false
+	}
+	idx := w.cur[w.curHead]
+	w.curHead++
+	w.count--
+	return idx, true
+}
+
+// ensureCur makes the firing batch non-empty if any event is pending:
+// it rotates the wheel — cascading coarse buckets inward and refilling
+// from the spill — until the globally earliest bucket is at level 0,
+// then drains that bucket into cur in (time, seq) order.
+//
+//dcalint:noalloc
+func (w *wheel) ensureCur(pool []node) bool {
+	if w.curHead < len(w.cur) {
+		return true
+	}
+	if len(w.cur) > 0 {
+		w.cur = w.cur[:0]
+		w.curHead = 0
+	}
+	if w.count == 0 {
+		return false
+	}
+	for {
+		// Find the earliest candidate across the levels: the first
+		// occupied bucket of each level, compared by bucket start time.
+		// On ties the coarser level wins — it must cascade before the
+		// finer bucket may drain, since its events can be earlier than
+		// (or tie with) anything already filed finer.
+		h := int64(w.horizon)
+		bestLevel := -1
+		var bestAbs, bestStart int64
+		for l := 0; l < wheelLevels; l++ {
+			lv := &w.levels[l]
+			if lv.count == 0 {
+				continue
+			}
+			s := levelShift(l)
+			d := h >> s
+			m := lv.firstFrom(int(d & bucketMask))
+			abs := d + ((int64(m) - (d & bucketMask)) & bucketMask)
+			if start := abs << s; bestLevel < 0 || start <= bestStart {
+				bestLevel, bestAbs, bestStart = l, abs, start
+			}
+		}
+		// The spill head outranks any bucket whose span would cover or
+		// follow it: compare at level-0 bucket granularity, spill first
+		// on ties, so spilled events re-enter the wheel before the
+		// region containing them drains.
+		if len(w.spill) > 0 {
+			t := int64(pool[w.spill[0]].at)
+			if key := t &^ (1<<wheelShift0 - 1); bestLevel < 0 || key <= bestStart {
+				w.refillSpill(pool)
+				continue
+			}
+		}
+		// Detach the chosen bucket's whole FIFO list.
+		lv := &w.levels[bestLevel]
+		b := int(bestAbs & bucketMask)
+		head, tail := lv.head[b], lv.tail[b]
+		lv.occ[b>>6] &^= 1 << uint(b&63)
+		if bestLevel == 0 {
+			// Drain: insertion-sort the expiring bucket into cur. The
+			// bucket's FIFO order is already seq-sorted except where a
+			// cascade interleaved with direct schedules, so the sort is
+			// near-linear.
+			w.horizon = simtime.Time((bestAbs + 1) << wheelShift0)
+			for idx := head; ; {
+				next := pool[idx].next
+				w.insertCur(pool, idx)
+				lv.count--
+				if idx == tail {
+					break
+				}
+				idx = next
+			}
+			return true
+		}
+		// Cascade: advance the horizon to the bucket's start and refile
+		// its records one level finer (or finer still) by relinking.
+		// Nothing fires, so exact ordering is untouched; each record
+		// cascades at most wheelLevels-1 times over its lifetime.
+		if start := simtime.Time(bestStart); start > w.horizon {
+			w.horizon = start
+		}
+		for idx := head; ; {
+			next := pool[idx].next
+			lv.count--
+			w.place(pool, idx)
+			if idx == tail {
+				break
+			}
+			idx = next
+		}
+	}
+}
+
+// refillSpill advances the horizon to the spill head and moves the
+// prefix of spilled events that now fits the outermost level back into
+// the wheel.
+//
+//dcalint:noalloc
+func (w *wheel) refillSpill(pool []node) {
+	w.horizon = pool[w.spill[0]].at
+	h := int64(w.horizon)
+	s := levelShift(wheelLevels - 1)
+	k := 0
+	for k < len(w.spill) {
+		at := int64(pool[w.spill[k]].at)
+		if (at>>s)-(h>>s) >= wheelBuckets {
+			break
+		}
+		k++
+	}
+	for _, idx := range w.spill[:k] {
+		w.place(pool, idx)
+	}
+	n := copy(w.spill, w.spill[k:])
+	w.spill = w.spill[:n]
+}

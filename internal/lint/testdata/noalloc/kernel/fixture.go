@@ -79,3 +79,46 @@ func concat(a, b string) string {
 func unannotated(a, b string) []byte {
 	return []byte(a + b)
 }
+
+// --- Shapes the timing-wheel event kernel relies on ---
+
+type wheelLike struct {
+	head, tail [4]int32
+	spill      []int32
+	pool       []struct{ next int32 }
+}
+
+// relink is the intrusive-list pattern: bucket membership is index
+// assignments into fixed arrays and pooled records — nothing here can
+// allocate, and the analyzer must stay silent.
+//
+//dcalint:noalloc
+func (w *wheelLike) relink(b int, idx int32) {
+	if w.tail[b] >= 0 {
+		w.pool[w.tail[b]].next = idx
+	} else {
+		w.head[b] = idx
+	}
+	w.tail[b] = idx
+	w.pool[idx].next = -1
+}
+
+// orderedInsert is the spill pattern: grow the pooled slice by one via
+// the blessed field-append form, then shift with copy. The append
+// targets a field selector, so it is pooled; copy never allocates.
+//
+//dcalint:noalloc
+func (w *wheelLike) orderedInsert(at int, idx int32) {
+	w.spill = append(w.spill, 0)
+	copy(w.spill[at+1:], w.spill[at:])
+	w.spill[at] = idx
+}
+
+// compact is the spill-refill pattern: drop a consumed prefix by
+// copying down and reslicing the same backing array in place.
+//
+//dcalint:noalloc
+func (w *wheelLike) compact(n int) {
+	copy(w.spill, w.spill[n:])
+	w.spill = w.spill[:len(w.spill)-n]
+}

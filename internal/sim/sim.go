@@ -174,6 +174,12 @@ func (rs *runSources) closeFiles() error {
 	return first
 }
 
+// testEngineHook, when set, observes the event engine of every Run
+// before any event is scheduled. It is a test-only seam (the
+// event-delta characterization test instruments Schedule through it)
+// and must stay nil outside tests.
+var testEngineHook func(*event.Engine)
+
 // Run executes one simulation and returns its results.
 func Run(cfg config.Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -190,6 +196,9 @@ func Run(cfg config.Config) (Result, error) {
 		}
 	}()
 	eng := &event.Engine{}
+	if testEngineHook != nil {
+		testEngineHook(eng)
+	}
 	mem := mainmem.New(eng, cfg.MainMem)
 
 	dcCfg := dcache.Config{
