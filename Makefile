@@ -25,6 +25,11 @@
 #                     heap oracle (CI job)
 #   make sweep-smoke - run the example sweep spec end to end against the
 #                      persistent result cache (CI job)
+#   make docs-check - documentation gate (CI job, cmd/docscheck):
+#                     markdown link integrity over README /
+#                     ARCHITECTURE / docs / examples, plus the guard
+#                     that every registered scheduling policy has a
+#                     row in docs/adding-a-policy.md's policy table
 #   make bench-short - one pass over the substrate microbenchmarks and
 #                      one small figure benchmark, with allocation stats
 #   make bench-json  - run the guarded benchmarks (Fig8, SimOneRun,
@@ -49,7 +54,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_controller.json
 
-.PHONY: all build vet lint test race faults fuzz-short sweep-smoke bench-short bench-json bench-gate bench-parallel determinism ci
+.PHONY: all build vet lint test race faults fuzz-short sweep-smoke docs-check bench-short bench-json bench-gate bench-parallel determinism ci
 
 all: ci
 
@@ -105,6 +110,13 @@ fuzz-short:
 # between runs, so warm invocations simulate nothing).
 sweep-smoke:
 	$(GO) run ./cmd/dcasim sweep -spec examples/sweep/flushing_factor.json -cache .dcasim-cache
+
+# Documentation gate: relative markdown links (files and #anchors) must
+# resolve across README / ARCHITECTURE / docs / examples, and every
+# registered scheduling policy needs a row in the authoring guide's
+# policy table (docscheck links the full registry to compare).
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 # Short benchmark pass: substrate microbenchmarks at a real benchtime
 # (their alloc counts are regression-guarded), figure benchmarks at one

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	dcasim [-design cd|rod|dca] [-org sa|dm] [-remap] [-lee] [-tagkb N]
-//	       [-bench m1,m2,m3,m4] [-instr N] [-scale bench|test|paper] [-seed N]
-//	       [-seeds N] [-config cfg.json] [-save-config cfg.json] [-cache dir]
-//	       [-run-timeout d]
+//	dcasim [-design cd|rod|dca] [-alg name] [-org sa|dm] [-remap] [-lee]
+//	       [-tagkb N] [-bench m1,m2,m3,m4] [-instr N]
+//	       [-scale bench|test|paper] [-seed N] [-seeds N] [-config cfg.json]
+//	       [-save-config cfg.json] [-cache dir] [-run-timeout d]
+//	       [-list-policies]
 //
 //	dcasim sweep -spec spec.json [-cache dir] [-j N] [-seeds N]
 //	             [-format text|csv|json] [-keep-going] [-run-timeout d]
@@ -32,6 +33,11 @@
 // partly-failed sweep recomputes only what is missing. -run-timeout
 // arms a per-run watchdog against hung simulations. See
 // examples/sweep/ and the README.
+//
+// -alg selects the base scheduling algorithm by registered policy name
+// (case-insensitive; aliases accepted) and -list-policies prints the
+// registry — the built-ins plus every policy package linked in via
+// dcasim/internal/sched/policies. See docs/adding-a-policy.md.
 package main
 
 import (
@@ -51,6 +57,10 @@ import (
 	"dcasim/internal/rescache"
 	"dcasim/internal/sim"
 	"dcasim/internal/stats"
+
+	// Link the full in-tree scheduling-policy set (ATLAS, ...) so -alg
+	// and sweep specs resolve every registered name.
+	_ "dcasim/internal/sched/policies"
 )
 
 func main() {
@@ -62,6 +72,8 @@ func main() {
 	}
 	var (
 		design   = flag.String("design", "dca", "controller design: cd, rod, or dca")
+		alg      = flag.String("alg", "bliss", "base scheduling algorithm (a registered policy name; see -list-policies)")
+		listPols = flag.Bool("list-policies", false, "print the registered scheduling policies and exit")
 		org      = flag.String("org", "sa", "cache organization: sa (set-associative) or dm (direct-mapped)")
 		remap    = flag.Bool("remap", false, "enable XOR permutation remapping")
 		lee      = flag.Bool("lee", false, "enable Lee DRAM-aware L2 writeback")
@@ -79,6 +91,10 @@ func main() {
 	)
 	flag.IntVar(workers, "workers", *workers, "alias for -j")
 	flag.Parse()
+	if *listPols {
+		fmt.Print(exp.DescribePolicies())
+		return
+	}
 	if err := exp.ValidateWorkers(*workers); err != nil {
 		log.Fatal(err)
 	}
@@ -107,6 +123,11 @@ func main() {
 	}
 	if set("design") {
 		if cfg.Design, err = core.ParseDesign(*design); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if set("alg") {
+		if cfg.Algorithm, err = core.ParseAlgorithm(*alg); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -154,7 +175,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("design=%v org=%v remap=%v lee=%v tagcache=%dKB\n", cfg.Design, cfg.Org, cfg.XORRemap, cfg.LeeWriteback, cfg.TagCacheKB)
+	fmt.Printf("design=%v alg=%v org=%v remap=%v lee=%v tagcache=%dKB\n", cfg.Design, cfg.Algorithm, cfg.Org, cfg.XORRemap, cfg.LeeWriteback, cfg.TagCacheKB)
 	for i, b := range res.Benchmarks {
 		fmt.Printf("core %d  %-12s IPC %.4f  finished at %.0f ns\n", i, b, res.IPC[i], res.FinishNS[i])
 	}

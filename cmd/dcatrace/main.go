@@ -11,16 +11,19 @@
 //	dcatrace -list                            # available benchmarks
 //
 //	dcatrace -record foo.dct -mix mcf,lbm,libquantum,omnetpp -scale test
-//	dcatrace -replay foo.dct -design dca -org sa
+//	dcatrace -replay foo.dct -design dca -org sa [-alg name]
 //	dcatrace -verify -mix mcf,lbm,libquantum,omnetpp -scale test [-j N]
-//	         [-cache dir]
+//	         [-cache dir] [-alg name]
 //
 // -record runs the mix live and captures every operation each core
 // consumes (warm-up included). -replay simulates from the file: core
 // count, benchmark names, and run budgets come from the trace header,
 // while the machine under test (design, organization, …) comes from the
 // flags — one recording drives any controller design and organization.
-// -verify performs the round trip for every design × organization and
+// -alg selects the base scheduling algorithm by registered policy name
+// (see `dcasim -list-policies` and docs/adding-a-policy.md).
+// -verify performs the round trip for every registered design ×
+// organization (the grid follows the design registry) and
 // fails loudly unless each replayed result is bit-identical to its live
 // counterpart; the grid fans out over -j parallel workers (default: all
 // CPUs) with output committed in grid order. The live halves of the
@@ -48,6 +51,10 @@ import (
 	"dcasim/internal/rescache"
 	"dcasim/internal/sim"
 	"dcasim/internal/workload"
+
+	// Link the full in-tree scheduling-policy set (ATLAS, ...) so -alg
+	// resolves every registered name.
+	_ "dcasim/internal/sched/policies"
 )
 
 func main() {
@@ -67,6 +74,7 @@ func main() {
 		mix      = flag.String("mix", "soplex,mcf,gcc,libquantum", "comma-separated benchmarks, one per core (record/verify modes)")
 		cfgName  = flag.String("scale", "test", "configuration scale for record/replay/verify: test or bench")
 		design   = flag.String("design", "dca", "controller design: cd, rod, or dca (replay/record modes)")
+		alg      = flag.String("alg", "bliss", "base scheduling algorithm, a registered policy name (record/replay/verify modes)")
 		org      = flag.String("org", "sa", "cache organization: sa or dm (replay/record modes)")
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel workers for the -verify design x organization grid")
 		cacheDir = flag.String("cache", os.Getenv("DCASIM_CACHE"), "persistent result cache for the -verify live runs (default $DCASIM_CACHE; empty = no cache)")
@@ -81,11 +89,11 @@ func main() {
 	case *list:
 		listProfiles()
 	case *record != "":
-		runRecord(*record, *mix, *cfgName, *design, *org, *seed)
+		runRecord(*record, *mix, *cfgName, *design, *alg, *org, *seed)
 	case *replay != "":
-		runReplay(*replay, *cfgName, *design, *org)
+		runReplay(*replay, *cfgName, *design, *alg, *org)
 	case *verify:
-		runVerify(*mix, *cfgName, *seed, *workers, *cacheDir)
+		runVerify(*mix, *cfgName, *alg, *seed, *workers, *cacheDir)
 	case *summary:
 		summarize(*bench, *seed, *scale, *n)
 	default:
@@ -95,12 +103,15 @@ func main() {
 
 // baseConfig builds the simulation config for the record/replay/verify
 // modes from the shared config parsing helpers.
-func baseConfig(cfgName, design, org string) config.Config {
+func baseConfig(cfgName, design, alg, org string) config.Config {
 	cfg, err := config.ParsePreset(cfgName)
 	if err != nil || cfgName == "paper" {
 		log.Fatalf("unknown scale %q (want test or bench)", cfgName)
 	}
 	if cfg.Design, err = core.ParseDesign(design); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Algorithm, err = core.ParseAlgorithm(alg); err != nil {
 		log.Fatal(err)
 	}
 	if cfg.Org, err = dcache.ParseOrg(org); err != nil {
@@ -117,8 +128,8 @@ func printResult(res sim.Result) {
 		res.DCache.ReadReqs, 100*res.DCache.ReadHitRate(), res.DRAM.Accesses, res.MainMemReads)
 }
 
-func runRecord(path, mix, cfgName, design, org string, seed uint64) {
-	cfg := baseConfig(cfgName, design, org)
+func runRecord(path, mix, cfgName, design, alg, org string, seed uint64) {
+	cfg := baseConfig(cfgName, design, alg, org)
 	cfg.Benchmarks = strings.Split(mix, ",")
 	cfg.Seed = seed
 	cfg.RecordPath = path
@@ -134,8 +145,8 @@ func runRecord(path, mix, cfgName, design, org string, seed uint64) {
 	fmt.Printf("recorded %s: %d cores, %d bytes\n", path, len(res.Benchmarks), info.Size())
 }
 
-func runReplay(path, cfgName, design, org string) {
-	cfg := baseConfig(cfgName, design, org)
+func runReplay(path, cfgName, design, alg, org string) {
+	cfg := baseConfig(cfgName, design, alg, org)
 	cfg.TracePath = path
 	res, err := sim.Run(cfg)
 	if err != nil {
@@ -155,7 +166,7 @@ func runReplay(path, cfgName, design, org string) {
 // replays and the recording never touch the cache — exp.Cacheable
 // excludes them, since the cache key covers the trace path, not the
 // trace bytes.
-func runVerify(mix, cfgName string, seed uint64, workers int, cacheDir string) {
+func runVerify(mix, cfgName, alg string, seed uint64, workers int, cacheDir string) {
 	dir, err := os.MkdirTemp("", "dcatrace-verify")
 	if err != nil {
 		log.Fatal(err)
@@ -163,7 +174,7 @@ func runVerify(mix, cfgName string, seed uint64, workers int, cacheDir string) {
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "verify.dct")
 
-	rec := baseConfig(cfgName, "cd", "sa")
+	rec := baseConfig(cfgName, "cd", alg, "sa")
 	rec.Benchmarks = strings.Split(mix, ",")
 	rec.Seed = seed
 	rec.RecordPath = path
@@ -171,7 +182,7 @@ func runVerify(mix, cfgName string, seed uint64, workers int, cacheDir string) {
 		log.Fatal(err)
 	}
 
-	runner := exp.NewRunner(baseConfig(cfgName, "cd", "sa"), nil, workers)
+	runner := exp.NewRunner(baseConfig(cfgName, "cd", alg, "sa"), nil, workers)
 	if cacheDir != "" {
 		cache, err := rescache.Open(cacheDir)
 		if err != nil {
@@ -184,8 +195,10 @@ func runVerify(mix, cfgName string, seed uint64, workers int, cacheDir string) {
 		d core.Design
 		o dcache.Org
 	}
+	// The grid spans the design registry, not a hard-coded list, so a
+	// newly registered design is verified without touching this command.
 	var cells []cell
-	for _, d := range []core.Design{core.CD, core.ROD, core.DCA} {
+	for _, d := range core.Designs() {
 		for _, o := range []dcache.Org{dcache.SetAssoc, dcache.DirectMapped} {
 			cells = append(cells, cell{d, o})
 		}
@@ -202,7 +215,7 @@ func runVerify(mix, cfgName string, seed uint64, workers int, cacheDir string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			live := baseConfig(cfgName, "cd", "sa")
+			live := baseConfig(cfgName, "cd", alg, "sa")
 			live.Benchmarks = strings.Split(mix, ",")
 			live.Seed = seed
 			live.Design, live.Org = c.d, c.o
@@ -211,7 +224,7 @@ func runVerify(mix, cfgName string, seed uint64, workers int, cacheDir string) {
 				errs[i] = err
 				return
 			}
-			rep := baseConfig(cfgName, "cd", "sa")
+			rep := baseConfig(cfgName, "cd", alg, "sa")
 			rep.Design, rep.Org = c.d, c.o
 			rep.TracePath = path
 			got, err := sim.Run(rep)

@@ -28,9 +28,15 @@ import (
 	"dcasim/internal/dcache"
 	"dcasim/internal/exp"
 	"dcasim/internal/rescache"
+	"dcasim/internal/sched"
 	"dcasim/internal/sim"
 	"dcasim/internal/stats"
 	"dcasim/internal/workload"
+
+	// The facade links the full in-tree scheduling-policy set (ATLAS, ...)
+	// so every registered name resolves for any importer; built-ins
+	// register from internal/sched itself.
+	_ "dcasim/internal/sched/policies"
 )
 
 // Config is the full-system configuration (see internal/config).
@@ -48,6 +54,27 @@ const (
 	ROD = core.ROD
 	DCA = core.DCA
 )
+
+// Algorithm names the base scheduling policy (a registered policy
+// name; see SchedulerNames and docs/adding-a-policy.md).
+type Algorithm = core.Algorithm
+
+// Built-in scheduling algorithms. Additional policies (e.g. ATLAS)
+// register themselves via internal/sched/policies; select them by name
+// with ParseAlgorithm or by setting Config.Algorithm directly.
+const (
+	AlgBLISS  = core.AlgBLISS
+	AlgFRFCFS = core.AlgFRFCFS
+	AlgFCFS   = core.AlgFCFS
+)
+
+// ParseAlgorithm resolves a policy name (case-insensitive; aliases
+// accepted) against the registry.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// SchedulerNames lists every registered scheduling policy's canonical
+// name, sorted.
+func SchedulerNames() []string { return sched.Names() }
 
 // Org selects the DRAM cache organization.
 type Org = dcache.Org

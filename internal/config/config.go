@@ -6,6 +6,7 @@ package config
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 
 	"dcasim/internal/addrmap"
@@ -47,6 +48,11 @@ type Config struct {
 	BEARProbe    bool // BEAR writeback-probe elision (extension)
 	// Algorithm overrides the base scheduling algorithm (default BLISS).
 	Algorithm core.Algorithm
+	// AlgParams overrides the selected policy's declared tunables by
+	// name (e.g. ATLAS's QuantumNS); nil keeps every default. Unknown
+	// names and out-of-range values are rejected by Validate. Marshals
+	// with omitempty so configs without overrides keep their hash.
+	AlgParams map[string]float64 `json:",omitempty"`
 
 	// Die-stacked DRAM shape (Table II).
 	CacheSizeBytes int64
@@ -83,6 +89,7 @@ type Config struct {
 func Paper() Config {
 	return Config{
 		Design:         core.DCA,
+		Algorithm:      core.AlgBLISS,
 		Org:            dcache.SetAssoc,
 		UseMAPI:        true,
 		CacheSizeBytes: 256 << 20,
@@ -150,6 +157,7 @@ func (c Config) CtrlConfig() core.Config {
 	}
 	cc := core.DefaultConfig(c.Design)
 	cc.Algorithm = c.Algorithm
+	cc.AlgParams = c.AlgParams
 	return cc
 }
 
@@ -202,8 +210,11 @@ func (c Config) Validate() error {
 		if c.Ctrl.Design != c.Design {
 			return fmt.Errorf("config: Design %v diverges from Ctrl.Design %v (the controller uses Ctrl.Design)", c.Design, c.Ctrl.Design)
 		}
-		if c.Ctrl.Algorithm != c.Algorithm {
+		if c.Ctrl.Algorithm.Canonical() != c.Algorithm.Canonical() {
 			return fmt.Errorf("config: Algorithm %v diverges from Ctrl.Algorithm %v (the controller uses Ctrl.Algorithm)", c.Algorithm, c.Ctrl.Algorithm)
+		}
+		if len(c.AlgParams) > 0 && !reflect.DeepEqual(c.AlgParams, c.Ctrl.AlgParams) {
+			return fmt.Errorf("config: AlgParams diverge from Ctrl.AlgParams (the controller uses Ctrl.AlgParams)")
 		}
 	}
 	switch {

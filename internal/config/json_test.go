@@ -188,7 +188,7 @@ func TestPatchCtrlMerge(t *testing.T) {
 	}
 	want := core.DefaultConfig(core.DCA)
 	want.FlushFactor = 2
-	if ffOnly.Ctrl == nil || *ffOnly.Ctrl != want {
+	if ffOnly.Ctrl == nil || !reflect.DeepEqual(*ffOnly.Ctrl, want) {
 		t.Fatalf("Ctrl patch did not materialize defaults: %+v", ffOnly.Ctrl)
 	}
 	if err := ffOnly.Validate(); err == nil {

@@ -42,6 +42,10 @@ type Entry struct {
 // PriorityRead reports the PR/LR classification assigned at enqueue time.
 func (e *Entry) PriorityRead() bool { return e.priorityRead }
 
+// Seq returns the entry's global arrival sequence number (the age
+// component of the scheduling key), exposed for the conformance harness.
+func (e *Entry) Seq() uint64 { return e.seq }
+
 // Lanes segregate entries by the static attributes the priority key
 // consumes: PR reads and LR reads share the read bus direction but differ
 // under DCA's two-level classification; writes drive the bus the other
@@ -93,12 +97,12 @@ type qindex struct {
 	count    int
 
 	// appCnt[app*laneCount+lane] counts queued entries per application
-	// and lane (apps outside [0, napps) share the final slot; they can
-	// never be blacklisted). It lets a pick prove "every candidate is
-	// blacklisted" in O(apps) and go straight to the unrestricted phase
-	// instead of walking every list to find nothing — the steady state
-	// of single-application (alone) runs, whose only app re-blacklists
-	// after every fourth service.
+	// and lane (apps outside [0, napps) share the final slot; a phase
+	// mask never excludes them). It lets a pick prove "no candidate is
+	// admitted by this phase" in O(apps) and skip the phase instead of
+	// walking every list to find nothing — under BLISS this is the
+	// steady state of single-application (alone) runs, whose only app
+	// re-blacklists after every fourth service.
 	appCnt []int32
 	napps  int
 }
@@ -116,12 +120,14 @@ func (q *qindex) appSlot(app int) int {
 	return app
 }
 
-// hasUnblacklisted reports whether any queued entry in the allowed lanes
-// belongs to an app outside blMask (i.e. whether the skip phase of a pick
-// can possibly find a candidate).
-func (q *qindex) hasUnblacklisted(laneMask uint8, blMask uint64) bool {
+// hasAllowed reports whether any queued entry in the allowed lanes
+// belongs to an application the phase's allowed-mask admits (i.e.
+// whether a restricted scan phase can possibly find a candidate).
+// Applications outside [0, napps) and outside the mask's 64-bit range
+// are always admitted, matching entryAllowed.
+func (q *qindex) hasAllowed(laneMask uint8, allowed uint64) bool {
 	for a := 0; a <= q.napps; a++ {
-		if a < q.napps && a < 64 && blMask>>uint(a)&1 != 0 {
+		if a < q.napps && a < 64 && allowed>>uint(a)&1 == 0 {
 			continue
 		}
 		base := a * laneCount
@@ -301,16 +307,29 @@ type Stats struct {
 //
 // Scheduling is O(1)-amortised per slot: entries live on per-bank indexed
 // FIFO lists with incrementally maintained row-hit sublists, picks walk
-// non-empty-bank bitmaps in priority-class order (blacklist, row hit, bus
-// direction, age — exactly the linear scan's [4]int64 key), removal is
-// intrusive unlinking, and the RRPC decay is a lazy epoch scheme. The
-// schedule produced is bit-identical to the reference linear scan; the
-// differential property test replays both side by side.
+// non-empty-bank bitmaps in priority-class order (policy phase, row hit,
+// bus direction, age — exactly the linear scan's [4]int64 key), removal
+// is intrusive unlinking, and the RRPC decay is a lazy epoch scheme. The
+// policy phases come from the registered scheduling policy's Instance
+// (see dcasim/internal/sched); the schedule produced is bit-identical to
+// the reference linear scan, which the conformance harness in
+// dcasim/internal/sched/policytest replays side by side against every
+// registered policy.
 type Controller struct {
-	eng   *event.Engine
-	ch    *dram.Channel
-	cfg   Config
-	bliss *sched.BLISS
+	eng *event.Engine
+	ch  *dram.Channel
+	cfg Config
+
+	// Design hooks resolved from the registry at construction: the
+	// queue-mapping rule and whether the two-level PR/LR machinery
+	// (ScheduleAll, OFS) is active.
+	route    func(kind dram.Kind, req RequestType) bool
+	twoLevel bool
+
+	// pol is the per-channel scheduling-policy instance; rowHitFirst
+	// caches its (constant) RowHitFirst answer.
+	pol         sched.Instance
+	rowHitFirst bool
 
 	rq, wq         qindex
 	spillR, spillW spillQueue
@@ -337,12 +356,13 @@ type Controller struct {
 	// Thresholds that are pure functions of the config, precomputed.
 	writeHi, writeLo int
 
-	// Blacklist snapshot for the current pick. With at most 64 apps
-	// (blOverflow false) the skip scans test one mask bit per entry;
-	// beyond that they fall back to per-app BLISS queries at blNow.
-	blMask     uint64
-	blNow      simtime.Time
-	blOverflow bool
+	// Restriction state of the current scan phase, loaded by enterPhase:
+	// with a mask-representable phase (curMaskOK) the restricted scans
+	// test one mask bit per entry; otherwise they fall back to per-entry
+	// PhaseAllows(curPhase, app) queries on the policy instance.
+	curMask   uint64
+	curMaskOK bool
+	curPhase  int
 
 	// pool is the free list of retired entries awaiting reuse.
 	pool []*Entry
@@ -350,8 +370,17 @@ type Controller struct {
 	stats Stats
 
 	// onIssue, when non-nil, observes every issue decision (test hook
-	// for the differential scheduling oracle).
+	// for the differential scheduling oracle in sched/policytest).
 	onIssue func(e *Entry, now simtime.Time, fromRead, viaOFS bool)
+}
+
+// SetIssueObserver installs fn to observe every issue decision: the
+// chosen entry, the issue time, whether it left the read queue, and
+// whether it was an opportunistic (OFS) LR issue. It exists for test
+// instrumentation — the differential conformance harness records both
+// schedules through it — and must be set before simulation starts.
+func (c *Controller) SetIssueObserver(fn func(e *Entry, now simtime.Time, fromRead, viaOFS bool)) {
+	c.onIssue = fn
 }
 
 // NewController builds a controller for one channel serving `apps`
@@ -366,18 +395,28 @@ func NewController(eng *event.Engine, ch *dram.Channel, cfg Config, apps int) *C
 	if nb > 64 {
 		panic(fmt.Sprintf("core: controller supports at most 64 banks per channel, got %d", nb))
 	}
-	c := &Controller{
-		eng:        eng,
-		ch:         ch,
-		cfg:        cfg,
-		bliss:      sched.NewBLISS(apps),
-		rows:       make([]int64, nb),
-		rrpcVal:    make([]uint8, nb),
-		rrpcEp:     make([]uint64, nb),
-		writeHi:    int(float64(cfg.WriteQueueCap)*cfg.WriteFlushHigh + 0.5),
-		writeLo:    int(float64(cfg.WriteQueueCap)*cfg.WriteFlushLow + 0.5),
-		blOverflow: apps > 64,
+	spec, err := cfg.Design.Spec()
+	if err != nil {
+		panic(err) // unreachable: Validate resolved the design above
 	}
+	reg, params, err := cfg.Policy()
+	if err != nil {
+		panic(err) // unreachable: Validate resolved the policy above
+	}
+	c := &Controller{
+		eng:      eng,
+		ch:       ch,
+		cfg:      cfg,
+		route:    spec.RouteToWrite,
+		twoLevel: spec.TwoLevel,
+		pol:      reg.Policy.New(apps, params),
+		rows:     make([]int64, nb),
+		rrpcVal:  make([]uint8, nb),
+		rrpcEp:   make([]uint64, nb),
+		writeHi:  int(float64(cfg.WriteQueueCap)*cfg.WriteFlushHigh + 0.5),
+		writeLo:  int(float64(cfg.WriteQueueCap)*cfg.WriteFlushLow + 0.5),
+	}
+	c.rowHitFirst = c.pol.RowHitFirst()
 	for i := range c.rows {
 		c.rows[i] = -1
 	}
@@ -439,7 +478,7 @@ func (c *Controller) Enqueue(acc dram.Access, reqType RequestType) {
 	e.enqueued = c.eng.Now()
 	e.seq = c.seq
 	e.gb = int32(c.ch.GlobalBank(acc.Loc))
-	toWrite := c.routesToWriteQueue(acc.Kind, reqType)
+	toWrite := c.route(acc.Kind, reqType)
 	if acc.Kind.IsWrite() {
 		e.lane = laneWrite
 	} else {
@@ -466,24 +505,6 @@ func (c *Controller) Enqueue(acc dram.Access, reqType RequestType) {
 		}
 	}
 	c.kick()
-}
-
-// routesToWriteQueue implements Fig. 3 (CD, ROD) and Fig. 6 (DCA).
-func (c *Controller) routesToWriteQueue(kind dram.Kind, reqType RequestType) bool {
-	switch c.cfg.Design {
-	case ROD:
-		// Request-oriented: everything follows its request, except the
-		// write-tag of a read request which the paper's footnote sends
-		// to the write queue for performance.
-		if reqType == ReadReq {
-			return kind.IsWrite()
-		}
-		return true
-	case CD, DCA: // classify by access type.
-		return kind.IsWrite()
-	default:
-		panic(fmt.Sprintf("core: routesToWriteQueue: unknown design %d", int(c.cfg.Design)))
-	}
 }
 
 // kick evaluates the scheduler if the channel is idle.
@@ -514,20 +535,21 @@ func (c *Controller) pick(now simtime.Time) (e *Entry, fromRead, viaOFS bool) {
 		// completions; fall through to reads.
 	}
 
-	// Read queue: CD and ROD schedule every entry; DCA schedules PRs
-	// unless ScheduleAll engaged.
+	// Read queue: single-level designs (CD, ROD) schedule every entry;
+	// two-level designs (DCA) schedule PRs unless ScheduleAll engaged.
 	mask := laneMaskAll
-	if c.cfg.Design == DCA && !c.scheduleAll {
+	if c.twoLevel && !c.scheduleAll {
 		mask = laneMaskPR
 	}
 	if e := c.bestIn(&c.rq, now, mask); e != nil {
 		return e, true, false
 	}
 
-	// DCA opportunistic flushing of LRs: only when no PR was eligible
-	// and occupancy is below the ScheduleAll threshold (guaranteed here
-	// because ScheduleAll would have widened the mask above).
-	if c.cfg.Design == DCA && !c.scheduleAll {
+	// Opportunistic flushing of LRs (two-level designs): only when no PR
+	// was eligible and occupancy is below the ScheduleAll threshold
+	// (guaranteed here because ScheduleAll would have widened the mask
+	// above).
+	if c.twoLevel && !c.scheduleAll {
 		if e := c.bestOFS(now); e != nil {
 			return e, true, true
 		}
@@ -544,23 +566,23 @@ func (c *Controller) pick(now simtime.Time) (e *Entry, fromRead, viaOFS bool) {
 }
 
 // bestIn picks the highest-priority entry among q's lanes in laneMask
-// under the configured algorithm's key: non-blacklisted applications
-// first (BLISS), then row hits (FR-FCFS), then accesses matching the
-// bus's current direction, then oldest arrival. It consults only the
-// banks whose lists are populated — row-hit candidates come straight from
-// the per-bank hit sublists.
+// under the policy's key: earliest admitting phase first (e.g. BLISS's
+// non-blacklisted applications), then row hits (FR-FCFS), then accesses
+// matching the bus's current direction, then oldest arrival. It consults
+// only the banks whose lists are populated — row-hit candidates come
+// straight from the per-bank hit sublists.
 func (c *Controller) bestIn(q *qindex, now simtime.Time, laneMask uint8) *Entry {
 	if q.count == 0 {
 		return nil
 	}
-	if c.cfg.Algorithm == AlgFCFS {
+	if !c.rowHitFirst {
 		// Pure age order: the oldest entry across the allowed lanes.
 		return q.minSeqHead(laneMask)
 	}
-	// Touch BLISS state only when at least one entry is a candidate:
-	// the periodic blacklist clear is applied on consultation, so its
-	// schedule must see exactly the consultations the reference linear
-	// scan performs (one per scanned candidate).
+	// Consult the policy only when at least one entry is a candidate:
+	// policies apply time-based state transitions (e.g. BLISS's periodic
+	// blacklist clear) on consultation, so the consultation schedule must
+	// see exactly the consultations the reference linear scan performs.
 	var populated uint64
 	for lane := 0; lane < laneCount; lane++ {
 		if laneMask&(1<<uint(lane)) != 0 {
@@ -571,25 +593,35 @@ func (c *Controller) bestIn(q *qindex, now simtime.Time, laneMask uint8) *Entry 
 		return nil
 	}
 	q.freshen(c.rows)
-	// Any non-blacklisted entry beats every blacklisted one, so resolve
-	// in two phases: first among non-blacklisted entries only (skipping
-	// blacklisted ones during list walks), then — only if that found
-	// nothing — among the all-blacklisted remainder, where the blacklist
-	// component ties and drops out of the key.
-	skipBl := c.snapshotBlacklist(now)
-	if skipBl && !c.blOverflow && !q.hasUnblacklisted(laneMask, c.blMask) {
-		// Every queued candidate is blacklisted: the skip phase cannot
-		// find anything, and with the blacklist component tied the key
-		// reduces to the unrestricted comparison.
-		skipBl = false
+	// An entry admitted by an earlier phase beats every entry admitted
+	// only later, so resolve phase by phase: scan each restricted phase
+	// (skipping entries it does not admit, or the whole phase when the
+	// per-app counters prove it empty) and finish with the unrestricted
+	// final phase, where the phase component ties and drops out of the
+	// key.
+	phases := c.pol.BeginPick(now)
+	for p := 0; p < phases-1; p++ {
+		if !c.enterPhase(q, laneMask, p) {
+			continue
+		}
+		if e := c.classBest(q, laneMask, true); e != nil {
+			return e
+		}
 	}
-	if e := c.classBest(q, laneMask, skipBl); e != nil {
-		return e
+	return c.classBest(q, laneMask, false)
+}
+
+// enterPhase loads phase p's restriction into the pick state and reports
+// whether the phase can possibly yield a candidate: a mask-representable
+// phase admitting no queued application is skipped without walking any
+// list.
+func (c *Controller) enterPhase(q *qindex, laneMask uint8, p int) bool {
+	c.curPhase = p
+	c.curMask, c.curMaskOK = c.pol.PhaseMask(p)
+	if c.curMaskOK && !q.hasAllowed(laneMask, c.curMask) {
+		return false
 	}
-	if skipBl {
-		return c.classBest(q, laneMask, false)
-	}
-	return nil
+	return true
 }
 
 // minSeqHead returns the oldest entry across the allowed lanes' bank
@@ -618,7 +650,7 @@ func (q *qindex) minSeqHead(laneMask uint8) *Entry {
 // non-empty class. Row-hit candidates come from the hit sublists; by the
 // time a miss class is reached no eligible hit exists anywhere, so the
 // first eligible entry of any bank FIFO is necessarily a miss.
-func (c *Controller) classBest(q *qindex, laneMask uint8, skipBl bool) *Entry {
+func (c *Controller) classBest(q *qindex, laneMask uint8, restricted bool) *Entry {
 	lastDir := c.ch.LastDir()
 	for hitPass := 0; hitPass < 2; hitPass++ {
 		for dmv := 0; dmv < 2; dmv++ {
@@ -642,9 +674,9 @@ func (c *Controller) classBest(q *qindex, laneMask uint8, skipBl bool) *Entry {
 					bl := &q.banks[gb][lane]
 					var e *Entry
 					if hitPass == 0 {
-						e = c.firstEligible(bl.hitHead, true, skipBl, best)
+						e = c.firstEligible(bl.hitHead, true, restricted, best)
 					} else {
-						e = c.firstEligible(bl.mainHead, false, skipBl, best)
+						e = c.firstEligible(bl.mainHead, false, restricted, best)
 					}
 					if e != nil && (best == nil || e.seq < best.seq) {
 						best = e
@@ -664,31 +696,17 @@ func (c *Controller) classBest(q *qindex, laneMask uint8, skipBl bool) *Entry {
 	return nil
 }
 
-// snapshotBlacklist refreshes the pick's blacklist snapshot (applying a
-// pending periodic clear, exactly as the reference scan's per-candidate
-// queries would) and reports whether any application is blacklisted.
-func (c *Controller) snapshotBlacklist(now simtime.Time) bool {
-	if c.cfg.Algorithm != AlgBLISS {
-		return false
-	}
-	if c.blOverflow {
-		c.blNow = now
-		return c.bliss.AnyBlacklisted(now)
-	}
-	c.blMask = c.bliss.BlacklistMask(now)
-	return c.blMask != 0
-}
-
 // firstEligible returns the first (oldest) entry of a list, skipping
-// blacklisted applications when requested. Lists are seq-ascending, so
-// the walk aborts once it passes limit (the best candidate found so far
-// in the same priority class): no later node can beat it.
-func (c *Controller) firstEligible(head *Entry, viaHit, skipBl bool, limit *Entry) *Entry {
+// entries the current phase does not admit when restricted. Lists are
+// seq-ascending, so the walk aborts once it passes limit (the best
+// candidate found so far in the same priority class): no later node can
+// beat it.
+func (c *Controller) firstEligible(head *Entry, viaHit, restricted bool, limit *Entry) *Entry {
 	for e := head; e != nil; {
 		if limit != nil && e.seq > limit.seq {
 			return nil
 		}
-		if !skipBl || !c.entryBlacklisted(e) {
+		if !restricted || c.entryAllowed(e) {
 			return e
 		}
 		if viaHit {
@@ -700,14 +718,15 @@ func (c *Controller) firstEligible(head *Entry, viaHit, skipBl bool, limit *Entr
 	return nil
 }
 
-// entryBlacklisted tests e's app against the pick's blacklist snapshot.
-// Out-of-range apps convert to huge shift counts and test clear, matching
-// the BLISS bounds check.
-func (c *Controller) entryBlacklisted(e *Entry) bool {
-	if c.blOverflow {
-		return c.bliss.Blacklisted(c.blNow, e.Acc.App)
+// entryAllowed tests e's app against the current phase restriction. In
+// mask mode, apps outside bits 0..63 are always admitted (negative apps
+// convert to huge unsigned values), matching the Instance contract and
+// hasAllowed's accounting.
+func (c *Controller) entryAllowed(e *Entry) bool {
+	if c.curMaskOK {
+		return uint(e.Acc.App) >= 64 || c.curMask>>uint(e.Acc.App)&1 != 0
 	}
-	return c.blMask>>uint(e.Acc.App)&1 != 0
+	return c.pol.PhaseAllows(c.curPhase, e.Acc.App)
 }
 
 // bestOFS implements the OFS criteria (§IV-C) over the LR lane: an LR is
@@ -721,7 +740,7 @@ func (c *Controller) bestOFS(now simtime.Time) *Entry {
 		return nil
 	}
 	q.freshen(c.rows)
-	// As in bestIn, consult BLISS only when the eligible set is
+	// As in bestIn, consult the policy only when the eligible set is
 	// non-empty, mirroring the reference scan's per-candidate checks.
 	eligible := q.hitBanks[laneLRRead] != 0
 	if !eligible {
@@ -738,7 +757,7 @@ func (c *Controller) bestOFS(now simtime.Time) *Entry {
 	if !eligible {
 		return nil
 	}
-	if c.cfg.Algorithm == AlgFCFS {
+	if !c.rowHitFirst {
 		var best *Entry
 		bm := q.nonEmpty[laneLRRead]
 		for bm != 0 {
@@ -756,20 +775,19 @@ func (c *Controller) bestOFS(now simtime.Time) *Entry {
 		}
 		return best
 	}
-	skipBl := c.snapshotBlacklist(now)
-	if skipBl && !c.blOverflow && !q.hasUnblacklisted(1<<laneLRRead, c.blMask) {
-		skipBl = false
+	phases := c.pol.BeginPick(now)
+	for p := 0; p < phases-1; p++ {
+		if !c.enterPhase(q, 1<<laneLRRead, p) {
+			continue
+		}
+		if e := c.ofsClassBest(true); e != nil {
+			return e
+		}
 	}
-	if e := c.ofsClassBest(skipBl); e != nil {
-		return e
-	}
-	if skipBl {
-		return c.ofsClassBest(false)
-	}
-	return nil
+	return c.ofsClassBest(false)
 }
 
-func (c *Controller) ofsClassBest(skipBl bool) *Entry {
+func (c *Controller) ofsClassBest(restricted bool) *Entry {
 	q := &c.rq
 	// Row hits first (all OFS-eligible; direction ties across the lane).
 	var best *Entry
@@ -777,7 +795,7 @@ func (c *Controller) ofsClassBest(skipBl bool) *Entry {
 	for bm != 0 {
 		gb := bits.TrailingZeros64(bm)
 		bm &^= 1 << uint(gb)
-		e := c.firstEligible(q.banks[gb][laneLRRead].hitHead, true, skipBl, best)
+		e := c.firstEligible(q.banks[gb][laneLRRead].hitHead, true, restricted, best)
 		if e != nil && (best == nil || e.seq < best.seq) {
 			best = e
 		}
@@ -794,7 +812,7 @@ func (c *Controller) ofsClassBest(skipBl bool) *Entry {
 		if !c.bankFlushable(gb) {
 			continue
 		}
-		e := c.firstEligible(q.banks[gb][laneLRRead].mainHead, false, skipBl, best)
+		e := c.firstEligible(q.banks[gb][laneLRRead].mainHead, false, restricted, best)
 		if e != nil && (best == nil || e.seq < best.seq) {
 			best = e
 		}
@@ -837,7 +855,7 @@ func (c *Controller) issue(e *Entry, fromRead, viaOFS bool, now simtime.Time) {
 	}
 
 	done := c.ch.Issue(&e.Acc, now)
-	c.bliss.OnServed(now, e.Acc.App)
+	c.pol.OnServed(now, e.Acc.App)
 	c.busy = true
 	c.eng.Schedule(done, c, event.Payload{Ptr: e})
 }
@@ -886,7 +904,7 @@ func (c *Controller) updateDrainState() {
 }
 
 func (c *Controller) updateScheduleAll() {
-	if c.cfg.Design != DCA {
+	if !c.twoLevel {
 		return
 	}
 	occ := float64(c.rq.count) / float64(c.cfg.ReadQueueCap)

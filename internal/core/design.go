@@ -27,59 +27,211 @@
 //     no PR is pending and the LR's bank shows no row conflict or has a
 //     re-reference prediction counter (RRPC) below the flushing factor.
 //
-// Each Controller instance manages one DRAM channel; the underlying
-// scheduling algorithm within a priority class is BLISS with FR-FCFS
-// tie-breaking, per the paper's methodology.
+// Both axes are open registries rather than closed enums: designs carry
+// their classification hooks in a DesignSpec (RegisterDesign), and the
+// scheduling algorithm within a priority class is resolved by name
+// against the policy registry in dcasim/internal/sched (RegisterPolicy).
+// The paper's grid — CD/ROD/DCA × BLISS/FR-FCFS/FCFS — is registered
+// here and in sched's init; additional policies (e.g.
+// dcasim/internal/sched/atlas) register themselves when imported.
 package core
 
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
+
+	"dcasim/internal/dram"
+	"dcasim/internal/sched"
 )
 
-// Design selects one of the three controller organisations.
+// Design selects a controller organisation. Values are indices into the
+// design registry: the paper's three designs are the CD/ROD/DCA
+// constants, and RegisterDesign mints new values at init time, so a
+// switch over Design is never exhaustive — always handle the default.
 type Design int
 
+// The paper's controller designs, registered at init.
 const (
 	CD Design = iota
 	ROD
 	DCA
 )
 
-// String implements fmt.Stringer.
+// DesignSpec carries a design's identity and the classification hooks
+// the controller consults, so a new design is data plus two decisions
+// rather than edits to the controller's switch statements.
+type DesignSpec struct {
+	// Name is the canonical spelling (the Config.Design JSON value);
+	// Aliases are accepted on parse. Matching is case-insensitive.
+	Name    string
+	Aliases []string
+	// Doc is a one-line description for listings.
+	Doc string
+
+	// RouteToWrite decides whether an access of the given DRAM kind,
+	// belonging to a request of the given type, enters the write queue
+	// (otherwise it is a read-queue resident). This is the queue-mapping
+	// half of a design (paper Fig. 3 and Fig. 6).
+	RouteToWrite func(kind dram.Kind, req RequestType) bool
+
+	// TwoLevel enables DCA's two-level read classification: PR/LR lanes,
+	// the ScheduleAll occupancy hysteresis, and opportunistic flushing
+	// (OFS). Without it every read schedules equally.
+	TwoLevel bool
+
+	// Architected queue capacities for DefaultConfig; zero means the
+	// Table II default of 64.
+	ReadQueueCap  int
+	WriteQueueCap int
+}
+
+// designs is the registry, indexed by Design value, in registration
+// order. It is populated by init functions; the simulator never mutates
+// it after startup.
+var designs []DesignSpec
+
+func init() {
+	for _, reg := range []struct {
+		want Design
+		spec DesignSpec
+	}{
+		{CD, DesignSpec{
+			Name:         "CD",
+			Doc:          "conventional design: queue by access type",
+			RouteToWrite: routeByAccessType,
+		}},
+		{ROD, DesignSpec{
+			Name:         "ROD",
+			Doc:          "request-oriented design: queue by request type",
+			RouteToWrite: routeByRequestType,
+			// Table II: ROD narrows the read queue and widens the write
+			// queue because whole requests land on one side.
+			ReadQueueCap:  32,
+			WriteQueueCap: 96,
+		}},
+		{DCA, DesignSpec{
+			Name:         "DCA",
+			Doc:          "DRAM-cache-aware: CD mapping + two-level PR/LR read scheduling",
+			RouteToWrite: routeByAccessType,
+			TwoLevel:     true,
+		}},
+	} {
+		if got := MustRegisterDesign(reg.spec); got != reg.want {
+			panic(fmt.Sprintf("core: design %s registered as %d, want %d", reg.spec.Name, int(got), int(reg.want)))
+		}
+	}
+}
+
+// routeByAccessType is the CD/DCA queue mapping: writes to the write
+// queue, reads to the read queue, regardless of the owning request.
+func routeByAccessType(kind dram.Kind, _ RequestType) bool {
+	return kind.IsWrite()
+}
+
+// routeByRequestType is the ROD mapping: every access follows its
+// request, except the write-tag of a read request, which the paper's
+// footnote sends to the write queue for performance.
+func routeByRequestType(kind dram.Kind, req RequestType) bool {
+	switch req {
+	case ReadReq:
+		return kind.IsWrite()
+	case WritebackReq, RefillReq:
+		return true
+	default:
+		panic(fmt.Sprintf("core: routeByRequestType: unknown request type %d", int(req)))
+	}
+}
+
+// RegisterDesign adds a controller design to the registry and returns
+// its Design value. Names and aliases must be unused
+// (case-insensitively) and RouteToWrite must be non-nil. Registration
+// normally happens in package init functions.
+func RegisterDesign(spec DesignSpec) (Design, error) {
+	if spec.Name == "" {
+		return 0, fmt.Errorf("core: RegisterDesign: empty design name")
+	}
+	if spec.RouteToWrite == nil {
+		return 0, fmt.Errorf("core: RegisterDesign %q: nil RouteToWrite", spec.Name)
+	}
+	for _, k := range append([]string{spec.Name}, spec.Aliases...) {
+		if prev, err := ParseDesign(k); err == nil {
+			return 0, fmt.Errorf("core: design name %q already registered (by %q)", k, designs[prev].Name)
+		}
+	}
+	designs = append(designs, spec)
+	return Design(len(designs) - 1), nil
+}
+
+// MustRegisterDesign is RegisterDesign that panics on error, for package
+// init use.
+func MustRegisterDesign(spec DesignSpec) Design {
+	d, err := RegisterDesign(spec)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Designs returns every registered design in registration order (the
+// paper's CD, ROD, DCA first).
+func Designs() []Design {
+	out := make([]Design, len(designs))
+	for i := range designs {
+		out[i] = Design(i)
+	}
+	return out
+}
+
+// Spec returns the design's registration, or an error for a value
+// outside the registry.
+func (d Design) Spec() (DesignSpec, error) {
+	if d < 0 || int(d) >= len(designs) {
+		return DesignSpec{}, fmt.Errorf("core: unknown design %d (registered: %s)", int(d), designNames())
+	}
+	return designs[d], nil
+}
+
+func designNames() string {
+	names := make([]string, len(designs))
+	for i := range designs {
+		names[i] = designs[i].Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// String implements fmt.Stringer via the registry.
 func (d Design) String() string {
-	switch d {
-	case CD:
-		return "CD"
-	case ROD:
-		return "ROD"
-	case DCA:
-		return "DCA"
+	if spec, err := d.Spec(); err == nil {
+		return spec.Name
 	}
 	return fmt.Sprintf("Design(%d)", int(d))
 }
 
-// ParseDesign converts a name ("cd", "rod", "dca") to a Design.
+// ParseDesign resolves a design name or alias (case-insensitively)
+// against the registry.
 func ParseDesign(s string) (Design, error) {
-	switch s {
-	case "cd", "CD":
-		return CD, nil
-	case "rod", "ROD":
-		return ROD, nil
-	case "dca", "DCA":
-		return DCA, nil
+	for i := range designs {
+		if strings.EqualFold(s, designs[i].Name) {
+			return Design(i), nil
+		}
+		for _, a := range designs[i].Aliases {
+			if strings.EqualFold(s, a) {
+				return Design(i), nil
+			}
+		}
 	}
-	return CD, fmt.Errorf("core: unknown design %q", s)
+	return CD, fmt.Errorf("core: unknown design %q (registered: %s)", s, designNames())
 }
 
 // MarshalJSON encodes the design as its canonical name so serialized
 // configurations read "DCA" rather than an opaque enum ordinal.
 func (d Design) MarshalJSON() ([]byte, error) {
-	switch d {
-	case CD, ROD, DCA:
-		return []byte(`"` + d.String() + `"`), nil
+	spec, err := d.Spec()
+	if err != nil {
+		return nil, fmt.Errorf("core: cannot marshal unknown design %d", int(d))
 	}
-	return nil, fmt.Errorf("core: cannot marshal unknown design %d", int(d))
+	return quoteName(spec.Name), nil
 }
 
 // UnmarshalJSON accepts the same names ParseDesign does.
@@ -118,54 +270,91 @@ func (t RequestType) String() string {
 	return "?"
 }
 
-// Algorithm selects the base scheduling algorithm within a priority
-// class. The paper evaluates on BLISS but notes DCA "is not limited to
-// any scheduling algorithm"; the alternatives let that claim be tested.
-type Algorithm int
+// Algorithm names the base scheduling algorithm within a priority class.
+// The paper evaluates on BLISS but notes DCA "is not limited to any
+// scheduling algorithm"; values are resolved by name against the policy
+// registry in dcasim/internal/sched, so any imported policy package
+// (e.g. dcasim/internal/sched/atlas) extends the accepted set. The zero
+// value canonicalises to BLISS, the paper's baseline. Because the value
+// set is open, a switch over Algorithm must always handle the default.
+type Algorithm string
 
+// The paper's three policies, registered by internal/sched.
 const (
 	// AlgBLISS is blacklisting + row-hit-first + direction + age.
-	AlgBLISS Algorithm = iota
+	AlgBLISS Algorithm = "BLISS"
 	// AlgFRFCFS drops the blacklisting component.
-	AlgFRFCFS
+	AlgFRFCFS Algorithm = "FR-FCFS"
 	// AlgFCFS is pure age order (no row-hit or direction preference).
-	AlgFCFS
+	AlgFCFS Algorithm = "FCFS"
 )
 
-// String implements fmt.Stringer.
-func (a Algorithm) String() string {
-	switch a {
-	case AlgBLISS:
-		return "BLISS"
-	case AlgFRFCFS:
-		return "FR-FCFS"
-	case AlgFCFS:
-		return "FCFS"
+// Canonical maps the zero value to BLISS (the default algorithm) and any
+// registered alias to its canonical spelling; unknown names pass through
+// unchanged for the caller to reject.
+func (a Algorithm) Canonical() Algorithm {
+	if a == "" {
+		return AlgBLISS
 	}
-	return fmt.Sprintf("Algorithm(%d)", int(a))
+	if r, ok := sched.Lookup(string(a)); ok {
+		return Algorithm(r.Policy.Name())
+	}
+	return a
 }
 
-// ParseAlgorithm converts a name ("bliss", "fr-fcfs", "fcfs") to an
-// Algorithm.
+// String implements fmt.Stringer, canonicalising first so the zero value
+// reads "BLISS".
+func (a Algorithm) String() string { return string(a.Canonical()) }
+
+// RegisterPolicy registers a scheduling policy (see sched.Register) and
+// returns its typed Algorithm name, for policy packages that want a
+// ready-made constant: Config.Algorithm accepts the returned value.
+func RegisterPolicy(r sched.Registration) (Algorithm, error) {
+	if err := sched.Register(r); err != nil {
+		return "", err
+	}
+	return Algorithm(r.Policy.Name()), nil
+}
+
+// MustRegisterPolicy is RegisterPolicy that panics on error, for package
+// init use.
+func MustRegisterPolicy(r sched.Registration) Algorithm {
+	a, err := RegisterPolicy(r)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAlgorithm resolves a policy name or alias (case-insensitively,
+// e.g. "bliss", "fr-fcfs", "frfcfs") against the policy registry.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch s {
-	case "bliss", "BLISS":
-		return AlgBLISS, nil
-	case "fr-fcfs", "FR-FCFS", "frfcfs":
-		return AlgFRFCFS, nil
-	case "fcfs", "FCFS":
-		return AlgFCFS, nil
+	if r, ok := sched.Lookup(s); ok {
+		return Algorithm(r.Policy.Name()), nil
 	}
-	return AlgBLISS, fmt.Errorf("core: unknown scheduling algorithm %q", s)
+	return AlgBLISS, fmt.Errorf("core: unknown scheduling algorithm %q (registered: %s)",
+		s, strings.Join(sched.Names(), ", "))
 }
 
-// MarshalJSON encodes the algorithm as its canonical name.
+// MarshalJSON encodes the algorithm as its canonical registered name.
 func (a Algorithm) MarshalJSON() ([]byte, error) {
-	switch a {
-	case AlgBLISS, AlgFRFCFS, AlgFCFS:
-		return []byte(`"` + a.String() + `"`), nil
+	c := a.Canonical()
+	if _, ok := sched.Lookup(string(c)); !ok {
+		return nil, fmt.Errorf("core: cannot marshal unknown algorithm %q", string(a))
 	}
-	return nil, fmt.Errorf("core: cannot marshal unknown algorithm %d", int(a))
+	return quoteName(string(c)), nil
+}
+
+// quoteName JSON-quotes an enum name in a single allocation. Registered
+// design and policy names are plain identifiers (letters, digits, '-',
+// '_'), so no JSON escaping can apply; config hashing marshals these
+// enums on every memoized run, making this a measured hot path (the
+// bench gate pins its allocation count).
+func quoteName(s string) []byte {
+	b := make([]byte, 0, len(s)+2)
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
 }
 
 // UnmarshalJSON accepts the same names ParseAlgorithm does.
@@ -187,6 +376,13 @@ type Config struct {
 	Design    Design
 	Algorithm Algorithm // base scheduling algorithm (default BLISS)
 
+	// AlgParams overrides the scheduling policy's declared tunables by
+	// name (e.g. BLISS's "Threshold"); keys are validated against the
+	// policy's ParamSpecs by Validate. Nil — the default — keeps every
+	// parameter at its declared default and is omitted from the
+	// canonical JSON, so existing config hashes are unchanged.
+	AlgParams map[string]float64 `json:",omitempty"`
+
 	ReadQueueCap  int
 	WriteQueueCap int
 
@@ -205,11 +401,13 @@ type Config struct {
 }
 
 // DefaultConfig returns the Table II parameters for a design: 64-entry
-// read and write queues (ROD: 32-entry read, 96-entry write), write flush
-// thresholds 50 %/85 %, DCA ScheduleAll thresholds 75 %/85 %, FF-4.
+// read and write queues (ROD: 32-entry read, 96-entry write, from its
+// DesignSpec), write flush thresholds 50 %/85 %, DCA ScheduleAll
+// thresholds 75 %/85 %, FF-4.
 func DefaultConfig(d Design) Config {
 	cfg := Config{
 		Design:          d,
+		Algorithm:       AlgBLISS,
 		ReadQueueCap:    64,
 		WriteQueueCap:   64,
 		WriteFlushLow:   0.50,
@@ -218,14 +416,37 @@ func DefaultConfig(d Design) Config {
 		ScheduleAllLow:  0.75,
 		FlushFactor:     4,
 	}
-	if d == ROD {
-		cfg.ReadQueueCap = 32
-		cfg.WriteQueueCap = 96
+	if spec, err := d.Spec(); err == nil {
+		if spec.ReadQueueCap > 0 {
+			cfg.ReadQueueCap = spec.ReadQueueCap
+		}
+		if spec.WriteQueueCap > 0 {
+			cfg.WriteQueueCap = spec.WriteQueueCap
+		}
 	}
 	return cfg
 }
 
-// Validate reports a descriptive error for unusable parameters.
+// Policy resolves the configured Algorithm against the scheduling-policy
+// registry, returning the registration and the fully resolved parameter
+// set (declared defaults overlaid with AlgParams).
+func (c Config) Policy() (*sched.Registration, sched.Params, error) {
+	name := c.Algorithm.Canonical()
+	r, ok := sched.Lookup(string(name))
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown scheduling algorithm %q (registered: %s)",
+			string(c.Algorithm), strings.Join(sched.Names(), ", "))
+	}
+	p, err := r.ResolveParams(c.AlgParams)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, p, nil
+}
+
+// Validate reports a descriptive error for unusable parameters,
+// including a design or algorithm missing from the registries and
+// AlgParams rejected by the policy's ParamSpecs.
 func (c Config) Validate() error {
 	switch {
 	case c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0:
@@ -236,6 +457,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: bad ScheduleAll thresholds low=%v high=%v", c.ScheduleAllLow, c.ScheduleAllHigh)
 	case c.FlushFactor > 7:
 		return fmt.Errorf("core: flush factor %d exceeds 3-bit RRPC range", c.FlushFactor)
+	}
+	if _, err := c.Design.Spec(); err != nil {
+		return err
+	}
+	if _, _, err := c.Policy(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -38,7 +38,7 @@ func TestControllerConservation(t *testing.T) {
 			kind := kinds[r.Intn(len(kinds))]
 			req := reqs[r.Intn(len(reqs))]
 			isRead := !kind.IsWrite()
-			toWriteQ := ctrl.routesToWriteQueue(kind, req)
+			toWriteQ := ctrl.route(kind, req)
 			if isRead && !toWriteQ {
 				readsEnqueued++
 			}

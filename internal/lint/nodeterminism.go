@@ -19,6 +19,8 @@ var DeterministicPkgs = []string{
 	"internal/cpu",
 	"internal/dcache",
 	"internal/sched",
+	"internal/sched/atlas",
+	"internal/sched/policies",
 	"internal/workload",
 	"internal/addrmap",
 	"internal/cache",

@@ -1,7 +1,9 @@
 // Fixture for the exhaustive analyzer: switches over a closed enum
 // (a defined integer type with >= 2 typed package constants) must
 // cover every constant or carry a default that panics / builds an
-// error.
+// error. Open registry enums — types an exported Register*/
+// MustRegister* function in the same package returns — additionally
+// require a loud default even when every declared constant is covered.
 package policy
 
 import "fmt"
@@ -74,5 +76,70 @@ func notAnEnum(n int) bool {
 		return true
 	default:
 		return false
+	}
+}
+
+// Policy is an open registry enum: MustRegisterPolicy below mints values
+// beyond the declared constants (mirrors core.Algorithm).
+type Policy string
+
+const (
+	PolBLISS Policy = "BLISS"
+	PolFCFS  Policy = "FCFS"
+)
+
+// MustRegisterPolicy marks Policy as registry-backed for the analyzer.
+func MustRegisterPolicy(name string) Policy { return Policy(name) }
+
+// openCovered lists every declared constant — still not exhaustive,
+// because registration can mint a third value.
+func openCovered(p Policy) string {
+	switch p { // want `open registry enum \(MustRegisterPolicy mints new values\), has no default`
+	case PolBLISS:
+		return "bliss"
+	case PolFCFS:
+		return "fcfs"
+	}
+	return "?"
+}
+
+// openLoudDefault is the blessed pattern for registry enums.
+func openLoudDefault(p Policy) string {
+	switch p {
+	case PolBLISS:
+		return "bliss"
+	default:
+		panic(fmt.Sprintf("unknown policy %q", string(p)))
+	}
+}
+
+// Scheme is an int-based registry enum (mirrors core.Design).
+type Scheme int
+
+const (
+	SchemeA Scheme = iota
+	SchemeB
+)
+
+// RegisterScheme marks Scheme as registry-backed for the analyzer.
+func RegisterScheme(name string) (Scheme, error) { return SchemeA, nil }
+
+// openSilentDefault has a default, but it silently picks a behaviour.
+func openSilentDefault(s Scheme) bool {
+	switch s { // want `open registry enum \(RegisterScheme mints new values\), silently picks a behaviour`
+	case SchemeA, SchemeB:
+		return true
+	default:
+		return false
+	}
+}
+
+// openErrDefault surfaces unknown registrations as an error.
+func openErrDefault(s Scheme) (string, error) {
+	switch s {
+	case SchemeA:
+		return "a", nil
+	default:
+		return "", fmt.Errorf("unknown scheme %d", int(s))
 	}
 }

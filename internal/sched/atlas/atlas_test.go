@@ -1,0 +1,17 @@
+package atlas_test
+
+import (
+	"testing"
+
+	"dcasim/internal/sched/atlas"
+	"dcasim/internal/sched/policytest"
+)
+
+// TestConformance is the policy-package idiom from
+// docs/adding-a-policy.md: every policy runs the shared conformance
+// harness (contract probes plus the differential schedule oracle) from
+// its own package, so a broken change fails here even before the
+// registry-wide sweep in policytest.
+func TestConformance(t *testing.T) {
+	policytest.Run(t, atlas.Name)
+}

@@ -1,12 +1,25 @@
-// Package sched implements the BLISS blacklisting memory scheduler
-// (Subramanian et al.), the base scheduling algorithm for every controller
-// design in the paper.
+// Package sched is the scheduling-policy plugin layer: the Policy /
+// Instance interfaces the controller picks through, a name-keyed
+// registry (Register / Lookup / Names) that internal/config resolves
+// Algorithm values against, and the three paper policies (BLISS,
+// FR-FCFS, FCFS) as built-in registrations.
 //
-// BLISS observes the stream of serviced requests: an application that is
-// served `Threshold` times in a row is blacklisted, and blacklisted
-// applications lose priority against non-blacklisted ones. The blacklist
-// clears periodically. Within a priority class the controllers break ties
-// row-hit-first then oldest-first (FR-FCFS).
+// A policy is one self-contained package: it registers its canonical
+// name, aliases, tunable parameters (ParamSpecs, set per run through the
+// configuration's AlgParams map), and ready-made sweep axes, plus a
+// constructor for per-channel Instances. The controller keeps the shared
+// per-(bank, lane) indexed-queue machinery and asks the instance only
+// for *phase restrictions* — which applications may be served in each
+// scan phase — so every policy inherits the O(1)-amortised pick paths.
+// See Instance for the exact contract and dcasim/internal/sched/policytest
+// for the conformance harness every registered policy must pass;
+// docs/adding-a-policy.md walks through writing one.
+//
+// The BLISS blacklisting scheduler (Subramanian et al.) is the paper's
+// baseline: an application served Threshold times in a row is
+// blacklisted and loses priority until the periodic clear. Within a
+// priority class the controllers break ties row-hit-first then
+// oldest-first (FR-FCFS).
 package sched
 
 import "dcasim/internal/simtime"

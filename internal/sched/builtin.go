@@ -1,0 +1,137 @@
+package sched
+
+import "dcasim/internal/simtime"
+
+// The three paper policies, registered as plugins over the shared
+// indexed-queue machinery. BLISS is the paper's baseline; FR-FCFS and
+// FCFS back the "DCA is not limited to any scheduling algorithm" claim.
+func init() {
+	MustRegister(Registration{
+		Policy: blissPolicy{},
+		Doc:    "blacklisting (Subramanian et al.) + row-hit-first + direction + age; the paper's baseline",
+		Params: []ParamSpec{
+			{Name: "Threshold", Default: DefaultThreshold, Min: 1, Max: 1 << 20,
+				Doc: "consecutive services before an application is blacklisted"},
+			{Name: "ClearIntervalNS", Default: float64(DefaultClearInterval / simtime.Nanosecond), Min: 1, Max: 1e12,
+				Doc: "blacklist clearing interval in nanoseconds"},
+		},
+		SweepAxes: []AxisSpec{{
+			Name: "blissThreshold",
+			Points: []AxisPoint{
+				{Label: "thr2", Patch: `{"Ctrl":{"AlgParams":{"Threshold":2}}}`},
+				{Label: "thr4", Patch: `{"Ctrl":{"AlgParams":{"Threshold":4}}}`},
+				{Label: "thr8", Patch: `{"Ctrl":{"AlgParams":{"Threshold":8}}}`},
+			},
+		}},
+	})
+	MustRegister(Registration{
+		Policy:  frfcfsPolicy{},
+		Aliases: []string{"frfcfs"},
+		Doc:     "row-hit-first + direction + age (BLISS minus the blacklist)",
+	})
+	MustRegister(Registration{
+		Policy: fcfsPolicy{},
+		Doc:    "pure age order (no row-hit or direction preference)",
+	})
+}
+
+// blissPolicy adapts the BLISS blacklist tracker to the Policy interface.
+type blissPolicy struct{}
+
+func (blissPolicy) Name() string { return "BLISS" }
+
+func (blissPolicy) New(apps int, params Params) Instance {
+	// The BLISS state is embedded by value so a channel's instance is a
+	// single allocation (plus the blacklist slice); the bench gate pins
+	// controller construction cost.
+	i := &blissInstance{overflow: apps > 64}
+	i.b.Threshold = DefaultThreshold
+	i.b.ClearInterval = DefaultClearInterval
+	i.b.blacklisted = make([]bool, apps)
+	i.b.lastApp = -1
+	if v, ok := params["Threshold"]; ok {
+		i.b.Threshold = int(v)
+	}
+	if v, ok := params["ClearIntervalNS"]; ok {
+		i.b.ClearInterval = simtime.Time(v) * simtime.Nanosecond
+	}
+	return i
+}
+
+// blissInstance exposes BLISS as a two-phase restriction: when anything
+// is blacklisted, phase 0 admits only non-blacklisted applications and
+// the controller's final unrestricted phase covers the remainder; when
+// the blacklist is empty the pick collapses to a single phase. With at
+// most 64 applications the restriction is the blacklist bitmask's
+// complement; beyond that (overflow) it falls back to per-entry queries
+// at the pick time captured by BeginPick. The periodic blacklist clear
+// is applied on every consultation (BeginPick and each PhaseAllows), so
+// the consultation schedule — part of the bit-identical contract — is
+// exactly the pre-registry controller's.
+type blissInstance struct {
+	b        BLISS
+	overflow bool         // more apps than the 64-bit mask tracks
+	now      simtime.Time // pick time for per-entry queries (overflow)
+	allowed  uint64       // ^blacklist mask captured by BeginPick
+}
+
+func (i *blissInstance) RowHitFirst() bool { return true }
+
+func (i *blissInstance) BeginPick(now simtime.Time) int {
+	i.now = now
+	if i.overflow {
+		if i.b.AnyBlacklisted(now) {
+			return 2
+		}
+		return 1
+	}
+	m := i.b.BlacklistMask(now)
+	i.allowed = ^m
+	if m != 0 {
+		return 2
+	}
+	return 1
+}
+
+func (i *blissInstance) PhaseMask(int) (uint64, bool) {
+	if i.overflow {
+		return 0, false
+	}
+	return i.allowed, true
+}
+
+func (i *blissInstance) PhaseAllows(_, app int) bool {
+	return !i.b.Blacklisted(i.now, app)
+}
+
+func (i *blissInstance) OnServed(now simtime.Time, app int) { i.b.OnServed(now, app) }
+
+// frfcfsPolicy is BLISS without the blacklist: a single unrestricted
+// phase resolved by the controller's row-hit / direction / age key.
+type frfcfsPolicy struct{}
+
+func (frfcfsPolicy) Name() string             { return "FR-FCFS" }
+func (frfcfsPolicy) New(int, Params) Instance { return frfcfsInstance{} }
+
+type frfcfsInstance struct{}
+
+func (frfcfsInstance) RowHitFirst() bool            { return true }
+func (frfcfsInstance) BeginPick(simtime.Time) int   { return 1 }
+func (frfcfsInstance) PhaseMask(int) (uint64, bool) { return ^uint64(0), true }
+func (frfcfsInstance) PhaseAllows(int, int) bool    { return true }
+func (frfcfsInstance) OnServed(simtime.Time, int)   {}
+
+// fcfsPolicy is pure age order: RowHitFirst false short-circuits the
+// controller to oldest-first scans and the phase machinery is unused.
+type fcfsPolicy struct{}
+
+func (fcfsPolicy) Name() string             { return "FCFS" }
+func (fcfsPolicy) New(int, Params) Instance { return fcfsInstance{} }
+
+type fcfsInstance struct{}
+
+func (fcfsInstance) RowHitFirst() bool            { return false }
+func (fcfsInstance) BeginPick(simtime.Time) int   { return 1 }
+func (fcfsInstance) PhaseMask(int) (uint64, bool) { return ^uint64(0), true }
+func (fcfsInstance) PhaseAllows(int, int) bool    { return true }
+func (fcfsInstance) OnServed(simtime.Time, int)   {}

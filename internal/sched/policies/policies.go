@@ -1,0 +1,16 @@
+// Package policies registers the full in-tree scheduling-policy set by
+// blank-importing every policy package. Binaries and tests import it for
+// side effects:
+//
+//	import _ "dcasim/internal/sched/policies"
+//
+// The built-in BLISS/FR-FCFS/FCFS policies register from internal/sched
+// itself (every controller build links them); this package adds the
+// optional beyond-paper policies. A new policy package becomes available
+// everywhere by adding one blank import here — docs/adding-a-policy.md
+// walks through it.
+package policies
+
+import (
+	_ "dcasim/internal/sched/atlas"
+)

@@ -1,0 +1,34 @@
+package policytest_test
+
+import (
+	"strings"
+	"testing"
+
+	"dcasim/internal/sched"
+	"dcasim/internal/sched/policytest"
+
+	_ "dcasim/internal/sched/policies"
+)
+
+// TestAllRegisteredPolicies runs the conformance suite over every policy
+// in the registry — the built-ins and everything pulled in by the
+// policies aggregator. A new policy added to the aggregator is covered
+// here automatically; it cannot ship without passing the differential
+// bar. The deliberately broken "broken." fixtures registered by
+// selftest_test.go are excluded — TestHarnessCatchesBrokenPolicies
+// asserts those FAIL.
+func TestAllRegisteredPolicies(t *testing.T) {
+	var covered int
+	for _, name := range sched.Names() {
+		if strings.HasPrefix(name, brokenPrefix) {
+			continue
+		}
+		covered++
+		t.Run(name, func(t *testing.T) {
+			policytest.Run(t, name)
+		})
+	}
+	if covered < 4 {
+		t.Fatalf("conformance covered %d policies; expected at least BLISS, FCFS, FR-FCFS, ATLAS", covered)
+	}
+}

@@ -1,13 +1,16 @@
-package core
+package policytest
 
-// This file preserves the pre-index controller verbatim as a test-only
-// oracle: queues are plain slices, every scheduling slot linearly scans
-// them re-Peeking each entry, remove is an O(N) shift, and the RRPC decay
-// eagerly walks all banks. The differential property test replays random
-// traffic through this reference and the indexed scheduler side by side
-// and requires identical issue sequences.
+// This file preserves the pre-index controller as a policy-generic
+// test-only oracle: queues are plain slices, every scheduling slot
+// linearly scans them re-Peeking each entry, remove is an O(N) shift,
+// and the RRPC decay eagerly walks all banks. Where the original
+// hard-coded BLISS and per-design switches, this version consumes the
+// same registry surfaces as the production controller — Design.Spec()
+// for routing/two-level structure and sched.Instance for scheduling —
+// so any registered policy can be replayed through it.
 
 import (
+	"dcasim/internal/core"
 	"dcasim/internal/dram"
 	"dcasim/internal/event"
 	"dcasim/internal/sched"
@@ -16,17 +19,20 @@ import (
 
 type refEntry struct {
 	Acc          dram.Access
-	ReqType      RequestType
+	ReqType      core.RequestType
 	priorityRead bool
 	enqueued     simtime.Time
 	seq          uint64
 }
 
 type refController struct {
-	eng   *event.Engine
-	ch    *dram.Channel
-	cfg   Config
-	bliss *sched.BLISS
+	eng         *event.Engine
+	ch          *dram.Channel
+	cfg         core.Config
+	inst        sched.Instance
+	rowHitFirst bool
+	route       func(dram.Kind, core.RequestType) bool
+	twoLevel    bool
 
 	readQ     []*refEntry
 	writeQ    []*refEntry
@@ -39,30 +45,42 @@ type refController struct {
 	busy        bool
 	seq         uint64
 
-	stats Stats
+	stats core.Stats
 
 	onIssue func(e *refEntry, now simtime.Time, fromRead, viaOFS bool)
 }
 
-func newRefController(eng *event.Engine, ch *dram.Channel, cfg Config, apps int) *refController {
+func newRefController(eng *event.Engine, ch *dram.Channel, cfg core.Config, apps int) *refController {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	spec, err := cfg.Design.Spec()
+	if err != nil {
+		panic(err)
+	}
+	reg, params, err := cfg.Policy()
+	if err != nil {
+		panic(err)
+	}
+	inst := reg.Policy.New(apps, params)
 	return &refController{
-		eng:   eng,
-		ch:    ch,
-		cfg:   cfg,
-		bliss: sched.NewBLISS(apps),
-		rrpc:  make([]uint8, ch.Banks()),
+		eng:         eng,
+		ch:          ch,
+		cfg:         cfg,
+		inst:        inst,
+		rowHitFirst: inst.RowHitFirst(),
+		route:       spec.RouteToWrite,
+		twoLevel:    spec.TwoLevel,
+		rrpc:        make([]uint8, ch.Banks()),
 	}
 }
 
-func (c *refController) Enqueue(acc dram.Access, reqType RequestType) {
+func (c *refController) Enqueue(acc dram.Access, reqType core.RequestType) {
 	c.seq++
 	e := &refEntry{Acc: acc, ReqType: reqType, enqueued: c.eng.Now(), seq: c.seq}
-	toWrite := c.routesToWriteQueue(acc.Kind, reqType)
+	toWrite := c.route(acc.Kind, reqType)
 	if !toWrite && !acc.Kind.IsWrite() {
-		e.priorityRead = reqType == ReadReq
+		e.priorityRead = reqType == core.ReadReq
 	}
 	if toWrite {
 		if len(c.writeQ) < c.cfg.WriteQueueCap {
@@ -78,18 +96,6 @@ func (c *refController) Enqueue(acc dram.Access, reqType RequestType) {
 		}
 	}
 	c.kick()
-}
-
-func (c *refController) routesToWriteQueue(kind dram.Kind, reqType RequestType) bool {
-	switch c.cfg.Design {
-	case ROD:
-		if reqType == ReadReq {
-			return kind.IsWrite()
-		}
-		return true
-	default:
-		return kind.IsWrite()
-	}
 }
 
 func (c *refController) kick() {
@@ -116,14 +122,14 @@ func (c *refController) pick(now simtime.Time) (e *refEntry, fromRead, viaOFS bo
 	}
 
 	var filter func(*refEntry) bool
-	if c.cfg.Design == DCA && !c.scheduleAll {
+	if c.twoLevel && !c.scheduleAll {
 		filter = func(e *refEntry) bool { return e.priorityRead }
 	}
 	if e := c.best(c.readQ, now, filter); e != nil {
 		return e, true, false
 	}
 
-	if c.cfg.Design == DCA && !c.scheduleAll {
+	if c.twoLevel && !c.scheduleAll {
 		if e := c.best(c.readQ, now, c.ofsEligible); e != nil {
 			return e, true, true
 		}
@@ -147,20 +153,31 @@ func (c *refController) ofsEligible(e *refEntry) bool {
 	return c.rrpc[c.ch.GlobalBank(e.Acc.Loc)] < c.cfg.FlushFactor
 }
 
+// best linearly scans q and returns the minimum-key candidate under the
+// per-candidate key [phase, !rowHit, dirMismatch, seq]. The phase
+// component generalizes the original blacklisted bit: it is the first
+// pick phase that admits the candidate's app, computed with the same
+// semantics the indexed controller's phase loop applies (mask mode with
+// the out-of-range rule when PhaseMask reports ok, the per-entry
+// PhaseAllows fallback otherwise, and an unconditionally unrestricted
+// final phase). BeginPick is consulted once per scan that sees at least
+// one filter-passing candidate — the same set of times the indexed
+// controller consults it.
 func (c *refController) best(q []*refEntry, now simtime.Time, filter func(*refEntry) bool) *refEntry {
 	lastDir := c.ch.LastDir()
-	alg := c.cfg.Algorithm
 	var pick *refEntry
 	var pickKey [4]int64
+	phases := 0
 	for _, e := range q {
 		if filter != nil && !filter(e) {
 			continue
 		}
 		key := [4]int64{0, 0, 0, int64(e.seq)}
-		if alg == AlgBLISS && c.bliss.Blacklisted(now, e.Acc.App) {
-			key[0] = 1
-		}
-		if alg != AlgFCFS {
+		if c.rowHitFirst {
+			if phases == 0 {
+				phases = c.inst.BeginPick(now)
+			}
+			key[0] = int64(phaseOf(c.inst, phases, e.Acc.App))
 			if c.ch.Peek(e.Acc.Loc) != dram.RowHit {
 				key[1] = 1
 			}
@@ -177,6 +194,27 @@ func (c *refController) best(q []*refEntry, now simtime.Time, filter func(*refEn
 		}
 	}
 	return pick
+}
+
+// phaseOf returns the first phase admitting app. The final phase is
+// unconditionally unrestricted, so every app lands in [0, phases-1].
+func phaseOf(inst sched.Instance, phases, app int) int {
+	for p := 0; p < phases-1; p++ {
+		if allowsMachine(inst, p, app) {
+			return p
+		}
+	}
+	return phases - 1
+}
+
+// allowsMachine applies the controller's admission semantics for one
+// non-final phase: the mask governs apps 0..63 and everything outside
+// that range is admitted; without a mask the per-entry callback decides.
+func allowsMachine(inst sched.Instance, p, app int) bool {
+	if mask, ok := inst.PhaseMask(p); ok {
+		return uint(app) >= 64 || mask>>uint(app)&1 != 0
+	}
+	return inst.PhaseAllows(p, app)
 }
 
 func refLess(a, b [4]int64) bool {
@@ -216,7 +254,7 @@ func (c *refController) issue(e *refEntry, fromRead, viaOFS bool, now simtime.Ti
 	}
 
 	done := c.ch.Issue(&e.Acc, now)
-	c.bliss.OnServed(now, e.Acc.App)
+	c.inst.OnServed(now, e.Acc.App)
 	c.busy = true
 	c.eng.Schedule(done, c, event.Payload{Ptr: e})
 }
@@ -226,11 +264,11 @@ func (c *refController) OnEvent(now simtime.Time, p event.Payload) {
 	cb := e.Acc.Done
 	c.busy = false
 	cb.Invoke(now)
-	_ = e
 	c.kick()
 }
 
-// touchRRPC is the eager decay the lazy epoch scheme must reproduce.
+// touchRRPC is the eager decay the controller's lazy epoch scheme must
+// reproduce.
 func (c *refController) touchRRPC(bank int) {
 	for i := range c.rrpc {
 		if c.rrpc[i] > 0 {
@@ -256,7 +294,7 @@ func (c *refController) writeLowCount() int {
 }
 
 func (c *refController) updateScheduleAll() {
-	if c.cfg.Design != DCA {
+	if !c.twoLevel {
 		return
 	}
 	occ := float64(len(c.readQ)) / float64(c.cfg.ReadQueueCap)
@@ -278,7 +316,7 @@ func (c *refController) remove(q *[]*refEntry, e *refEntry) {
 			return
 		}
 	}
-	panic("core: entry not found in reference queue")
+	panic("policytest: entry not found in reference queue")
 }
 
 func (c *refController) refill(q, overflow *[]*refEntry, cap int) {

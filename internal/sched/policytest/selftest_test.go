@@ -1,0 +1,141 @@
+package policytest_test
+
+// Self-test of the conformance harness: deliberately broken policies,
+// registered under the reserved "broken." name prefix, must each be
+// caught by the invariant they violate. The first five break the
+// Instance contract directly; the last one is contract-clean under the
+// harness's probes but becomes impure mid-run, and must be caught by the
+// differential oracle instead.
+
+import (
+	"strings"
+	"testing"
+
+	"dcasim/internal/core"
+	"dcasim/internal/sched"
+	"dcasim/internal/sched/policytest"
+	"dcasim/internal/simtime"
+)
+
+// BrokenPrefix marks self-test fixture policies; TestAllRegisteredPolicies
+// skips them.
+const brokenPrefix = "broken."
+
+// conformant is a neutral, restriction-free baseline the broken variants
+// embed and selectively override.
+type conformant struct{}
+
+func (conformant) RowHitFirst() bool                  { return true }
+func (conformant) BeginPick(simtime.Time) int         { return 1 }
+func (conformant) PhaseMask(int) (uint64, bool)       { return ^uint64(0), true }
+func (conformant) PhaseAllows(int, int) bool          { return true }
+func (conformant) OnServed(now simtime.Time, app int) {}
+
+type fixture struct {
+	name string
+	make func() sched.Instance
+}
+
+func (f fixture) Name() string                         { return f.name }
+func (f fixture) New(int, sched.Params) sched.Instance { return f.make() }
+
+type zeroPhases struct{ conformant }
+
+func (zeroPhases) BeginPick(simtime.Time) int { return 0 }
+
+type maskLiar struct{ conformant }
+
+func (maskLiar) BeginPick(simtime.Time) int { return 2 }
+func (maskLiar) PhaseMask(int) (uint64, bool) {
+	return ^uint64(0) &^ (1 << 1), true // claims app 1 blocked...
+}
+func (maskLiar) PhaseAllows(int, int) bool { return true } // ...but allows it
+
+type highAppBlocker struct{ conformant }
+
+func (highAppBlocker) BeginPick(simtime.Time) int  { return 2 }
+func (highAppBlocker) PhaseAllows(_, app int) bool { return app < 64 }
+
+type flappingRHF struct {
+	conformant
+	calls int
+}
+
+func (f *flappingRHF) RowHitFirst() bool { f.calls++; return f.calls%2 == 1 }
+
+type unstablePhases struct {
+	conformant
+	calls int
+}
+
+func (u *unstablePhases) BeginPick(simtime.Time) int { u.calls++; return 1 + u.calls%2 }
+
+// lateImpure is clean under every direct contract probe, then — after
+// more services than the probes perform — its PhaseMask starts rotating
+// a blocked app on every call. The indexed controller reads the mask
+// once per phase while the reference oracle reads it per candidate, so
+// the impurity makes the two schedules diverge.
+type lateImpure struct {
+	conformant
+	served  int
+	blocked int
+}
+
+func (l *lateImpure) BeginPick(simtime.Time) int { return 2 }
+func (l *lateImpure) PhaseMask(int) (uint64, bool) {
+	m := ^uint64(0) &^ (1 << uint(l.blocked))
+	if l.served > 50 {
+		l.blocked = (l.blocked + 1) % 4
+	}
+	return m, true
+}
+func (l *lateImpure) PhaseAllows(_, app int) bool    { return app != l.blocked }
+func (l *lateImpure) OnServed(_ simtime.Time, _ int) { l.served++ }
+
+func init() {
+	for _, f := range []fixture{
+		{brokenPrefix + "zero-phases", func() sched.Instance { return zeroPhases{} }},
+		{brokenPrefix + "mask-liar", func() sched.Instance { return maskLiar{} }},
+		{brokenPrefix + "high-app-blocker", func() sched.Instance { return highAppBlocker{} }},
+		{brokenPrefix + "flapping-rhf", func() sched.Instance { return &flappingRHF{} }},
+		{brokenPrefix + "unstable-phases", func() sched.Instance { return &unstablePhases{} }},
+		{brokenPrefix + "late-impure", func() sched.Instance { return &lateImpure{} }},
+	} {
+		core.MustRegisterPolicy(sched.Registration{Policy: f, Doc: "policytest self-test fixture"})
+	}
+}
+
+func TestHarnessCatchesBrokenPolicies(t *testing.T) {
+	cases := []struct {
+		name string
+		want string // substring of the expected violation message
+	}{
+		{"zero-phases", "BeginPick"},
+		{"mask-liar", "disagrees with mask bit"},
+		{"high-app-blocker", "outside bits 0..63"},
+		{"flapping-rhf", "RowHitFirst"},
+		{"unstable-phases", "not idempotent"},
+		// Any differential mismatch (pick sequence, counts, stats)
+		// carries the run context; "seed" pins it to the oracle, not a
+		// contract probe.
+		{"late-impure", "seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := policytest.Check(brokenPrefix + tc.name)
+			if err == nil {
+				t.Fatalf("harness passed the deliberately broken policy %q", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("broken policy %q caught, but by the wrong invariant:\n got: %v\nwant substring %q", tc.name, err, tc.want)
+			}
+			t.Logf("caught: %v", err)
+		})
+	}
+}
+
+func TestHarnessRejectsUnknownPolicy(t *testing.T) {
+	if err := policytest.Check("no-such-policy"); err == nil || !strings.Contains(err.Error(), "not a registered policy") {
+		t.Fatalf("unknown policy not rejected: %v", err)
+	}
+}
